@@ -1,0 +1,68 @@
+"""Shared workloads for the benchmark harness.
+
+Each benchmark module reproduces one experiment from DESIGN.md (E1–E9).  The
+workloads are built once per session: a trained track/waypoint regressor and
+a trained synthetic-digit classifier, each with in-ODD evaluation data
+(held-out scenes plus Δ-perturbed training scenes) and the out-of-ODD
+scenario suites of the paper.
+
+Benchmarks print the paper-style result tables; run with ``-s`` to see them,
+e.g. ``pytest benchmarks/ --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    MonitoringWorkload,
+    build_digits_workload,
+    build_track_workload,
+    default_monitored_layer,
+)
+from repro.data.perturbations import perturb_dataset_inputs
+from repro.eval.experiments import MonitorExperiment
+
+#: Perturbation budget used throughout the track experiments.  Matched to the
+#: aleatory jitter of the in-ODD evaluation data (see DESIGN.md E1).
+TRACK_DELTA = 0.002
+
+#: Perturbation budget for the digits workload.
+DIGITS_DELTA = 0.005
+
+
+@pytest.fixture(scope="session")
+def track_workload() -> MonitoringWorkload:
+    return build_track_workload(num_samples=360, epochs=10, seed=100)
+
+
+@pytest.fixture(scope="session")
+def track_layer(track_workload) -> int:
+    return default_monitored_layer(track_workload.network)
+
+
+@pytest.fixture(scope="session")
+def track_experiment(track_workload) -> MonitorExperiment:
+    """E1/E2 evaluation sets: Δ-perturbed training scenes + jittered held-out scenes."""
+    rng = np.random.default_rng(0)
+    perturbed_training = perturb_dataset_inputs(
+        track_workload.train.inputs, TRACK_DELTA, rng=rng
+    )
+    in_odd = np.vstack([perturbed_training, track_workload.in_odd_eval.inputs])
+    return MonitorExperiment(
+        track_workload.network,
+        track_workload.train.inputs,
+        in_odd,
+        {name: data.inputs for name, data in track_workload.out_of_odd_eval.items()},
+    )
+
+
+@pytest.fixture(scope="session")
+def digits_workload() -> MonitoringWorkload:
+    return build_digits_workload(num_samples=400, num_classes=5, epochs=10, seed=200)
+
+
+@pytest.fixture(scope="session")
+def digits_layer(digits_workload) -> int:
+    return default_monitored_layer(digits_workload.network)

@@ -1,0 +1,96 @@
+"""E1 — false-positive reduction of the robust monitor (Section IV headline).
+
+Paper: the standard monitor shows 0.62% false positives inside the ODD; the
+robust construction reduces this to 0.125% (an ~80% reduction).  Here the
+in-ODD evaluation set contains Δ-perturbed training scenes plus jittered
+held-out scenes, so the standard monitor accumulates false positives from the
+aleatory perturbation while Lemma 1 forces the robust monitor's rate towards
+the held-out share only.  The benchmark times robust monitor construction
+(the symbolic-propagation-heavy step) and prints the comparison table.
+"""
+
+import pytest
+
+from repro.eval.reporting import format_rate, format_table
+from repro.monitors.boolean import BooleanPatternMonitor, RobustBooleanPatternMonitor
+from repro.monitors.minmax import MinMaxMonitor, RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+
+#: Perturbation budget matched to the in-ODD aleatory jitter (see conftest).
+TRACK_DELTA = 0.002
+
+
+def _compare(experiment, network, layer, standard, robust):
+    result = experiment.run({"standard": standard, "robust": robust})
+    standard_score = result.score("standard")
+    robust_score = result.score("robust")
+    reduction = result.false_positive_reduction("standard", "robust")
+    return standard_score, robust_score, reduction
+
+
+@pytest.mark.benchmark(group="E1-false-positive-reduction")
+def test_minmax_false_positive_reduction(benchmark, track_experiment, track_workload, track_layer):
+    network = track_workload.network
+    spec = PerturbationSpec(delta=TRACK_DELTA, layer=0, method="box")
+
+    def build_robust():
+        return RobustMinMaxMonitor(network, track_layer, spec).fit(
+            track_workload.train.inputs
+        )
+
+    robust = benchmark(build_robust)
+    standard = MinMaxMonitor(network, track_layer).fit(track_workload.train.inputs)
+    standard_score, robust_score, reduction = _compare(
+        track_experiment, network, track_layer, standard, robust
+    )
+    print()
+    print(
+        format_table(
+            ["monitor", "in-ODD false positives", "mean detection"],
+            [
+                ["standard min-max", format_rate(standard_score.false_positive_rate),
+                 format_rate(standard_score.mean_detection_rate)],
+                ["robust min-max", format_rate(robust_score.false_positive_rate),
+                 format_rate(robust_score.mean_detection_rate)],
+            ],
+            title=f"E1 (min-max): FP reduction = {reduction:.1%} "
+            f"(paper: 0.62% -> 0.125%, ~80%)",
+        )
+    )
+    assert robust_score.false_positive_rate <= standard_score.false_positive_rate
+    # The paper reports an ~80% reduction; require a substantial one here.
+    if standard_score.false_positive_rate > 0:
+        assert reduction >= 0.5
+
+
+@pytest.mark.benchmark(group="E1-false-positive-reduction")
+def test_boolean_false_positive_reduction(benchmark, track_experiment, track_workload, track_layer):
+    network = track_workload.network
+    spec = PerturbationSpec(delta=TRACK_DELTA, layer=0, method="box")
+
+    def build_robust():
+        return RobustBooleanPatternMonitor(
+            network, track_layer, spec, thresholds="mean"
+        ).fit(track_workload.train.inputs)
+
+    robust = benchmark(build_robust)
+    standard = BooleanPatternMonitor(network, track_layer, thresholds="mean").fit(
+        track_workload.train.inputs
+    )
+    standard_score, robust_score, reduction = _compare(
+        track_experiment, network, track_layer, standard, robust
+    )
+    print()
+    print(
+        format_table(
+            ["monitor", "in-ODD false positives", "mean detection"],
+            [
+                ["standard boolean", format_rate(standard_score.false_positive_rate),
+                 format_rate(standard_score.mean_detection_rate)],
+                ["robust boolean", format_rate(robust_score.false_positive_rate),
+                 format_rate(robust_score.mean_detection_rate)],
+            ],
+            title=f"E1 (boolean): FP reduction = {reduction:.1%}",
+        )
+    )
+    assert robust_score.false_positive_rate <= standard_score.false_positive_rate

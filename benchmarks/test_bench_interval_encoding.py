@@ -1,0 +1,108 @@
+"""E3 — Figure 1: the robust interval-code encoding.
+
+Figure 1 of the paper illustrates how a sound neuron bound ``[l_j, u_j]``
+relative to cut points ``c_j1 < c_j2 < c_j3`` maps to a *set* of 2-bit codes.
+This benchmark exhaustively enumerates the ten cases of the paper's table,
+cross-checks them against the general contiguous-range encoding used by the
+library, and times the vectorised encoding of a full layer (the per-sample
+cost of robust interval monitor construction after bound propagation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import format_table
+from repro.monitors.encoding import (
+    code_sets_of_bounds,
+    paper_code_2bit,
+    paper_robust_code_set_2bit,
+)
+
+C1, C2, C3 = -1.0, 0.0, 1.0
+
+#: Representative (l, u) pairs for the ten rows of Figure 1.
+FIGURE1_CASES = [
+    ("l > c3", 1.5, 2.0, {3}),
+    ("c3 >= u >= l >= c2", 0.2, 0.8, {2}),
+    ("c2 > u >= l > c1", -0.8, -0.2, {1}),
+    ("c1 >= u", -2.0, -1.5, {0}),
+    ("straddles c1", -1.5, -0.5, {0, 1}),
+    ("straddles c2", -0.5, 0.5, {1, 2}),
+    ("straddles c3", 0.5, 1.5, {2, 3}),
+    ("c1 >= l, u in [c2, c3]", -1.5, 0.5, {0, 1, 2}),
+    ("u > c3, l in (c1, c2)", -0.5, 1.5, {1, 2, 3}),
+    ("spans all cuts", -1.5, 1.5, {0, 1, 2, 3}),
+]
+
+
+@pytest.mark.benchmark(group="E3-interval-encoding")
+def test_figure1_case_table(benchmark):
+    """Reproduce the Figure 1 case table and verify its soundness."""
+
+    def evaluate_cases():
+        rows = []
+        for label, low, high, expected in FIGURE1_CASES:
+            observed = paper_robust_code_set_2bit(low, high, C1, C2, C3)
+            rows.append((label, low, high, sorted(observed), sorted(expected)))
+        return rows
+
+    rows = benchmark(evaluate_cases)
+    print()
+    print(
+        format_table(
+            ["case", "l", "u", "robust code set", "expected (Fig. 1)"],
+            [[label, low, high, str(observed), str(expected)] for label, low, high, observed, expected in rows],
+            title="E3: Figure 1 robust 2-bit encoding cases",
+        )
+    )
+    for label, low, high, observed, expected in rows:
+        assert observed == expected, f"case '{label}' mismatch"
+        # Soundness: every value in [l, u] has its standard code inside the set.
+        for value in np.linspace(low, high, 17):
+            assert paper_code_2bit(value, C1, C2, C3) in observed
+
+
+@pytest.mark.benchmark(group="E3-interval-encoding")
+def test_general_encoding_matches_paper_on_interiors(benchmark):
+    """The library's contiguous-range encoding agrees with Figure 1 away from cut boundaries."""
+    rng = np.random.default_rng(0)
+    cuts = np.array([[C1, C2, C3]])
+
+    def check_random_bounds():
+        mismatches = 0
+        for _ in range(500):
+            low = float(rng.uniform(-2.5, 2.5))
+            high = low + float(rng.uniform(0.0, 3.0))
+            # Skip bounds that sit exactly on a cut (boundary conventions differ).
+            if any(abs(x - c) < 1e-9 for x in (low, high) for c in (C1, C2, C3)):
+                continue
+            general = code_sets_of_bounds(np.array([low]), np.array([high]), cuts)[0]
+            paper = paper_robust_code_set_2bit(low, high, C1, C2, C3)
+            if set(general) != set(paper):
+                mismatches += 1
+        return mismatches
+
+    mismatches = benchmark(check_random_bounds)
+    print(f"\nE3: general-vs-paper encoding mismatches on 500 random bounds: {mismatches}")
+    assert mismatches == 0
+
+
+@pytest.mark.benchmark(group="E3-interval-encoding")
+def test_layer_encoding_throughput(benchmark):
+    """Vectorised robust encoding of a 64-neuron layer over 500 samples."""
+    rng = np.random.default_rng(1)
+    num_neurons = 64
+    cut_points = np.sort(rng.normal(size=(num_neurons, 3)), axis=1)
+    cut_points += np.arange(3)[None, :] * 1e-6  # enforce strict monotonicity
+    lows = rng.normal(size=(500, num_neurons))
+    highs = lows + rng.uniform(0.0, 1.0, size=(500, num_neurons))
+
+    def encode_all():
+        total_codes = 0
+        for low, high in zip(lows, highs):
+            sets = code_sets_of_bounds(low, high, cut_points)
+            total_codes += sum(len(s) for s in sets)
+        return total_codes
+
+    total = benchmark(encode_all)
+    assert total >= 500 * num_neurons

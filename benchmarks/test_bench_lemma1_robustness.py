@@ -1,0 +1,98 @@
+"""E5 — Lemma 1: the provable-robustness guarantee, checked empirically at scale.
+
+Lemma 1 states that a warning from the robust monitor implies that no
+training input is Δ-close at layer ``k_p``.  Contrapositively, Δ-bounded
+perturbations of training inputs can never warn.  This benchmark hammers the
+robust monitors of all three families with thousands of worst-case (corner)
+and uniform perturbations of training scenes and counts violations (which
+must be zero), timing the verification sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.perturbations import corner_perturbations, uniform_perturbations
+from repro.eval.reporting import format_table
+from repro.monitors.boolean import RobustBooleanPatternMonitor
+from repro.monitors.interval import RobustIntervalPatternMonitor
+from repro.monitors.minmax import RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+
+TRACK_DELTA = 0.002
+SAMPLES_PER_SCENE = 8
+NUM_SCENES = 40
+
+
+def _build_monitor(family, network, layer, inputs):
+    spec = PerturbationSpec(delta=TRACK_DELTA, layer=0, method="box")
+    if family == "minmax":
+        return RobustMinMaxMonitor(network, layer, spec).fit(inputs)
+    if family == "boolean":
+        return RobustBooleanPatternMonitor(network, layer, spec, thresholds="mean").fit(inputs)
+    return RobustIntervalPatternMonitor(network, layer, spec, num_cuts=3).fit(inputs)
+
+
+@pytest.mark.benchmark(group="E5-lemma1")
+@pytest.mark.parametrize("family", ["minmax", "boolean", "interval"])
+def test_no_warning_on_delta_perturbed_training_scenes(
+    benchmark, track_workload, track_layer, family
+):
+    network = track_workload.network
+    train_inputs = track_workload.train.inputs
+    monitor = _build_monitor(family, network, track_layer, train_inputs)
+    scenes = train_inputs[:NUM_SCENES]
+    rng = np.random.default_rng(0)
+
+    def count_violations():
+        violations = 0
+        total = 0
+        for scene in scenes:
+            probes = np.vstack(
+                [
+                    uniform_perturbations(scene, TRACK_DELTA, SAMPLES_PER_SCENE, rng=rng),
+                    corner_perturbations(scene, TRACK_DELTA, SAMPLES_PER_SCENE, rng=rng),
+                ]
+            )
+            warnings = monitor.warn_batch(probes)
+            violations += int(warnings.sum())
+            total += probes.shape[0]
+        return violations, total
+
+    violations, total = benchmark(count_violations)
+    print(
+        f"\nE5 ({family}): {violations} Lemma-1 violations over {total} "
+        f"Δ-bounded perturbations (must be 0)"
+    )
+    assert violations == 0
+
+
+@pytest.mark.benchmark(group="E5-lemma1")
+def test_lemma1_direct_statement_on_random_probes(benchmark, track_workload, track_layer):
+    """Direct form: whenever the robust monitor warns, no training scene is Δ-close."""
+    network = track_workload.network
+    train_inputs = track_workload.train.inputs
+    monitor = _build_monitor("minmax", network, track_layer, train_inputs)
+    rng = np.random.default_rng(1)
+    probes = rng.uniform(0.0, 1.0, size=(200, network.input_dim))
+
+    def check():
+        warned = 0
+        contradictions = 0
+        for probe in probes:
+            if not monitor.warn(probe):
+                continue
+            warned += 1
+            distances = np.max(np.abs(train_inputs - probe[None, :]), axis=1)
+            if np.any(distances <= TRACK_DELTA):
+                contradictions += 1
+        return warned, contradictions
+
+    warned, contradictions = benchmark(check)
+    print(
+        format_table(
+            ["probes", "warnings", "Lemma-1 contradictions"],
+            [[probes.shape[0], warned, contradictions]],
+            title="\nE5: direct Lemma 1 check on random probes",
+        )
+    )
+    assert contradictions == 0

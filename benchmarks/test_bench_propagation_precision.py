@@ -1,0 +1,81 @@
+"""E7 — precision and cost of the bound-propagation back-ends.
+
+Section III-B lists three ways to compute the perturbation estimate: boxed
+abstraction (interval bound propagation), zonotopes and star sets, and the
+paper's implementation uses boxes.  This benchmark compares the three
+back-ends on the trained track network: average bound width at the monitored
+layer (tighter is better) and construction time per training scene (cheaper
+is better), plus the induced don't-care fraction of the robust Boolean
+monitor — the knob that decides how much abstraction precision is lost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import format_table
+from repro.monitors.boolean import RobustBooleanPatternMonitor
+from repro.monitors.perturbation import PerturbationSpec, perturbation_estimate
+
+TRACK_DELTA = 0.002
+NUM_SCENES = 25
+
+
+@pytest.mark.benchmark(group="E7-propagation-precision")
+@pytest.mark.parametrize("method", ["box", "zonotope", "star"])
+def test_bound_width_per_backend(benchmark, track_workload, track_layer, method):
+    network = track_workload.network
+    scenes = track_workload.train.inputs[:NUM_SCENES]
+    spec = PerturbationSpec(delta=TRACK_DELTA, layer=0, method=method)
+
+    def propagate_all():
+        widths = []
+        for scene in scenes:
+            estimate = perturbation_estimate(network, scene, track_layer, spec)
+            widths.append(estimate.width_sum())
+        return float(np.mean(widths))
+
+    mean_width = benchmark(propagate_all)
+    print(f"\nE7: method={method}: mean bound width sum at layer {track_layer} = {mean_width:.4f}")
+    assert mean_width > 0.0
+
+
+@pytest.mark.benchmark(group="E7-propagation-precision")
+def test_backend_comparison_table(benchmark, track_workload, track_layer):
+    """Side-by-side width and don't-care comparison (zonotope/star vs. box)."""
+    network = track_workload.network
+    scenes = track_workload.train.inputs[:NUM_SCENES]
+
+    def compare():
+        rows = []
+        for method in ("box", "zonotope", "star"):
+            spec = PerturbationSpec(delta=TRACK_DELTA, layer=0, method=method)
+            widths = [
+                perturbation_estimate(network, scene, track_layer, spec).width_sum()
+                for scene in scenes
+            ]
+            monitor = RobustBooleanPatternMonitor(
+                network, track_layer, spec, thresholds="mean"
+            ).fit(scenes)
+            rows.append(
+                {
+                    "method": method,
+                    "mean_width": float(np.mean(widths)),
+                    "dont_care_fraction": monitor.dont_care_fraction,
+                }
+            )
+        return rows
+
+    rows = benchmark(compare)
+    print()
+    print(
+        format_table(
+            ["method", "mean bound width", "don't-care fraction"],
+            [[r["method"], f"{r['mean_width']:.4f}", f"{r['dont_care_fraction']:.3f}"] for r in rows],
+            title="E7: bound-propagation back-end precision",
+        )
+    )
+    by_method = {row["method"]: row for row in rows}
+    # Zonotopes track correlations through the affine layers, so the final
+    # bound is at least as tight as interval propagation on this network.
+    assert by_method["zonotope"]["mean_width"] <= by_method["box"]["mean_width"] * 1.05
+    assert by_method["star"]["mean_width"] <= by_method["box"]["mean_width"] * 1.05

@@ -1,0 +1,115 @@
+"""Deployment artefacts, quantitative scores and monitorability analysis.
+
+Beyond the binary warn/no-warn decision of the paper, a deployed monitoring
+stack needs three practical capabilities, all demonstrated here:
+
+1. **Serialisation** — the monitor is built offline from the training data
+   and shipped as an artefact next to the frozen network
+   (`repro.monitors.save_monitor` / `load_monitor`).
+2. **Quantitative scores** — instead of a hard warning, report *how far* the
+   observed activation is from the abstraction (envelope distance, pattern
+   Hamming distance), enabling graded degradation policies.
+3. **Monitorability analysis** — the paper's conclusion notes that some
+   monitors show 0% false positives but raise almost no warnings; the
+   coverage/saturation report quantifies how much discriminative power a
+   fitted monitor actually retains.
+
+Run with:  python examples/deployment_and_scoring.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import PerturbationSpec, build_track_workload, default_monitored_layer
+from repro.data import dark_scenario
+from repro.eval import format_table, monitorability_report
+from repro.monitors import (
+    BooleanPatternMonitor,
+    EnvelopeDistanceMonitor,
+    PatternDistanceMonitor,
+    RobustMinMaxMonitor,
+    load_monitor,
+    save_monitor,
+)
+from repro.nn import save_network
+
+DELTA = 0.005
+
+
+def main() -> None:
+    print("Training the track workload and fitting a robust min-max monitor...")
+    workload = build_track_workload(num_samples=240, epochs=8, seed=42)
+    network = workload.network
+    layer = default_monitored_layer(network)
+    monitor = RobustMinMaxMonitor(
+        network, layer, PerturbationSpec(delta=DELTA, layer=0, method="box")
+    ).fit(workload.train.inputs)
+
+    # ------------------------------------------------------------------
+    # 1. Ship the artefacts: network + monitor, then reload them.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as directory:
+        network_path = save_network(network, Path(directory) / "waypoint_net.npz")
+        monitor_path = save_monitor(monitor, Path(directory) / "robust_monitor.npz")
+        print(f"  saved network  -> {network_path.name}")
+        print(f"  saved monitor  -> {monitor_path.name}")
+        restored = load_monitor(monitor_path, network)
+        agreement = np.array_equal(
+            restored.warn_batch(workload.in_odd_eval.inputs),
+            monitor.warn_batch(workload.in_odd_eval.inputs),
+        )
+        print(f"  reloaded monitor agrees with the original: {agreement}")
+
+    # ------------------------------------------------------------------
+    # 2. Quantitative scores instead of binary warnings.
+    # ------------------------------------------------------------------
+    scorer = EnvelopeDistanceMonitor(monitor)
+    nominal = workload.in_odd_eval.inputs
+    dark = dark_scenario(workload.in_odd_eval, seed=1).inputs
+    print()
+    print(
+        format_table(
+            ["evaluation set", "mean score", "95th percentile score"],
+            [
+                ["in-ODD (nominal)", f"{scorer.score_batch(nominal).mean():.4f}",
+                 f"{np.percentile(scorer.score_batch(nominal), 95):.4f}"],
+                ["out-of-ODD (dark)", f"{scorer.score_batch(dark).mean():.4f}",
+                 f"{np.percentile(scorer.score_batch(dark), 95):.4f}"],
+            ],
+            title="Envelope-distance scores (0 = inside the abstraction)",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Monitorability of a pattern monitor at the same layer.
+    # ------------------------------------------------------------------
+    pattern_monitor = BooleanPatternMonitor(network, layer, thresholds="mean").fit(
+        workload.train.inputs
+    )
+    report = monitorability_report(pattern_monitor)
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["stored patterns", report.pattern_count],
+                ["BDD nodes", report.bdd_nodes],
+                ["pattern-space coverage", f"{report.coverage:.2e}"],
+                ["neuron saturation", f"{report.saturation:.2f}"],
+                ["monitorability score", f"{report.monitorability:.3f}"],
+            ],
+            title="Monitorability report for the Boolean pattern monitor",
+        )
+    )
+    distance_scorer = PatternDistanceMonitor(pattern_monitor, max_distance=4)
+    print(
+        "\nPattern Hamming distance of a dark-scene frame: "
+        f"{distance_scorer.distance(dark[0])} positions "
+        f"(score {distance_scorer.score(dark[0]):.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

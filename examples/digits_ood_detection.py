@@ -1,0 +1,89 @@
+"""Out-of-distribution detection for a digit classifier (MNIST-style workload).
+
+Reproduces the per-class monitoring setup of the prior work the paper builds
+on (Cheng et al. DATE'19): a classifier is trained on synthetic digits, one
+Boolean activation-pattern monitor is built per predicted class, and the
+monitor is asked to flag inputs the network was never trained on — novel
+glyph shapes and heavily corrupted images — while staying quiet on
+in-distribution digits.  The robust construction is then applied with a small
+pixel-level Δ and the false-positive/detection trade-off is printed.
+
+Run with:  python examples/digits_ood_detection.py
+"""
+
+import numpy as np
+
+from repro import (
+    ClassConditionalMonitor,
+    MonitorBuilder,
+    PerturbationSpec,
+    build_digits_workload,
+    default_monitored_layer,
+)
+from repro.data import generate_novel_glyphs, sensor_noise_scenario
+from repro.eval import format_rate, format_table
+from repro.nn import accuracy
+
+DELTA = 0.005
+NUM_CLASSES = 5
+
+
+def evaluate(monitor, workload, ood_sets):
+    """Return (false-positive rate, {scenario: detection rate})."""
+    fp = monitor.warning_rate(workload.in_odd_eval.inputs)
+    detection = {name: monitor.warning_rate(inputs) for name, inputs in ood_sets.items()}
+    return fp, detection
+
+
+def main() -> None:
+    print("Training the digit classifier...")
+    workload = build_digits_workload(
+        num_samples=500, num_classes=NUM_CLASSES, epochs=12, seed=3
+    )
+    network = workload.network
+    layer = default_monitored_layer(network)
+    test_accuracy = accuracy(
+        network, workload.in_odd_eval.inputs, workload.in_odd_eval.targets
+    )
+    print(f"  held-out accuracy: {test_accuracy:.3f}; monitored layer: {layer}")
+
+    print("Generating out-of-distribution evaluation sets...")
+    glyphs = generate_novel_glyphs(100, seed=9)
+    corrupted = sensor_noise_scenario(workload.in_odd_eval, noise_std=0.3, seed=10)
+    ood_sets = {"novel glyphs": glyphs.inputs, "sensor noise": corrupted.inputs}
+
+    rows = []
+    family_options = {"minmax": {}, "boolean": {"thresholds": "mean"}}
+    for family, options in family_options.items():
+        for label, spec in [("standard", None), ("robust", PerturbationSpec(delta=DELTA))]:
+            monitor = ClassConditionalMonitor(
+                MonitorBuilder(family, layer, perturbation=spec, **options),
+                num_classes=NUM_CLASSES,
+            )
+            monitor.fit(network, workload.train.inputs, labels=workload.train.targets)
+            fp, detection = evaluate(monitor, workload, ood_sets)
+            rows.append(
+                [
+                    f"{label} per-class {family}",
+                    format_rate(fp),
+                    format_rate(detection["novel glyphs"]),
+                    format_rate(detection["sensor noise"]),
+                ]
+            )
+
+    print()
+    print(
+        format_table(
+            ["monitor", "in-ODD false positives", "novel glyphs detected", "sensor noise detected"],
+            rows,
+            title="Per-class activation-pattern monitoring on the digits workload",
+        )
+    )
+    print(
+        "\nA warning means: the activation pattern at the monitored layer was never "
+        "seen (up to the abstraction) for the predicted class during training."
+    )
+
+
+if __name__ == "__main__":
+    main()

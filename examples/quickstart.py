@@ -1,0 +1,46 @@
+"""Quickstart: build a robust activation-pattern monitor in a few lines.
+
+This example follows the paper's workflow end to end on the synthetic
+race-track workload:
+
+1. generate in-ODD training data and train a small waypoint-regression DNN;
+2. build a *standard* min-max monitor and a *provably robust* one
+   (perturbation budget Δ at the input layer, interval bound propagation);
+3. compare their false-positive rates on in-ODD data and their detection
+   rates on out-of-ODD scenarios (dark, construction site, ice on track).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import MonitorPipeline, PerturbationSpec, build_track_workload
+
+
+def main() -> None:
+    print("Building the track/waypoint workload (train DNN + evaluation data)...")
+    workload = build_track_workload(num_samples=300, epochs=10, seed=0)
+    print(f"  network: {workload.network}")
+    print(f"  training scenes: {workload.train.num_samples}")
+    print(f"  out-of-ODD scenarios: {sorted(workload.out_of_odd_eval)}")
+
+    # Δ is the per-pixel perturbation budget the monitor must tolerate; the
+    # robust monitor provably never warns on inputs within Δ of training data.
+    perturbation = PerturbationSpec(delta=0.005, layer=0, method="box")
+
+    pipeline = MonitorPipeline(workload, family="minmax", perturbation=perturbation)
+    print("\nFitting standard and robust min-max monitors on the training data...")
+    result = pipeline.run()
+
+    print()
+    print(result.format(title="Standard vs. robust monitor on the track workload"))
+
+    reduction = result.false_positive_reduction("standard", "robust")
+    print(
+        f"\nFalse-positive reduction from the robust construction: {reduction:.1%} "
+        "(the paper reports ~80%: 0.62% -> 0.125%)"
+    )
+    change = result.detection_rate_change("standard", "robust")
+    print(f"Change in mean out-of-ODD detection rate: {change:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that fully offline environments without the ``wheel`` package can still do
+an editable install via ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

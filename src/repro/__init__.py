@@ -1,0 +1,106 @@
+"""repro — Provably-Robust Runtime Monitoring of Neuron Activation Patterns.
+
+A self-contained reproduction of Cheng, "Provably-Robust Runtime Monitoring
+of Neuron Activation Patterns" (DATE 2021).  The library provides:
+
+* :mod:`repro.nn` — a numpy feed-forward DNN substrate (training, layer-sliced
+  evaluation ``G^k`` / ``G^{l↪k}``, interval bound propagation);
+* :mod:`repro.symbolic` — sound abstract domains (box, zonotope, star set)
+  used for the perturbation estimate of Definition 1;
+* :mod:`repro.bdd` — a reduced ordered BDD manager and the pattern-set
+  wrapper implementing ``word2set``;
+* :mod:`repro.monitors` — the paper's contribution: min-max, Boolean on/off
+  and multi-bit interval activation monitors, each with a standard and a
+  provably-robust variant;
+* :mod:`repro.data` — synthetic digits, race-track/waypoint imagery and
+  out-of-ODD scenario transforms replacing the paper's lab setup;
+* :mod:`repro.eval` — false-positive / detection-rate metrics, experiment
+  runners and parameter sweeps;
+* :mod:`repro.core` — end-to-end pipelines and reference workloads.
+
+Quickstart
+----------
+>>> from repro import build_track_workload, MonitorPipeline, PerturbationSpec
+>>> workload = build_track_workload(num_samples=200, epochs=5, seed=0)
+>>> pipeline = MonitorPipeline(
+...     workload, family="minmax",
+...     perturbation=PerturbationSpec(delta=0.05, layer=0, method="box"))
+>>> result = pipeline.run()
+>>> result.score("robust").false_positive_rate <= result.score("standard").false_positive_rate
+True
+"""
+
+from .core import (
+    MonitoringWorkload,
+    MonitorPipeline,
+    build_digits_workload,
+    build_track_workload,
+    default_monitored_layer,
+)
+from .exceptions import (
+    ConfigurationError,
+    DataError,
+    LayerIndexError,
+    NotFittedError,
+    PropagationError,
+    ReproError,
+    SerializationError,
+    ShapeError,
+)
+from .monitors import (
+    BooleanPatternMonitor,
+    ClassConditionalMonitor,
+    IntervalPatternMonitor,
+    MinMaxMonitor,
+    MonitorBuilder,
+    MonitorEnsemble,
+    MonitorVerdict,
+    PerturbationSpec,
+    RobustBooleanPatternMonitor,
+    RobustIntervalPatternMonitor,
+    RobustMinMaxMonitor,
+)
+from .nn import Sequential, mlp
+from .symbolic import Box, StarSet, Zonotope, perturbation_bounds, propagate_bounds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "ShapeError",
+    "LayerIndexError",
+    "NotFittedError",
+    "PropagationError",
+    "SerializationError",
+    "DataError",
+    # networks
+    "Sequential",
+    "mlp",
+    # symbolic
+    "Box",
+    "Zonotope",
+    "StarSet",
+    "propagate_bounds",
+    "perturbation_bounds",
+    # monitors
+    "MonitorVerdict",
+    "MinMaxMonitor",
+    "RobustMinMaxMonitor",
+    "BooleanPatternMonitor",
+    "RobustBooleanPatternMonitor",
+    "IntervalPatternMonitor",
+    "RobustIntervalPatternMonitor",
+    "MonitorBuilder",
+    "ClassConditionalMonitor",
+    "MonitorEnsemble",
+    "PerturbationSpec",
+    # pipelines
+    "MonitoringWorkload",
+    "MonitorPipeline",
+    "build_track_workload",
+    "build_digits_workload",
+    "default_monitored_layer",
+]

@@ -1,0 +1,12 @@
+"""Binary Decision Diagram substrate.
+
+A from-scratch reduced ordered BDD (ROBDD) manager plus the
+:class:`~repro.bdd.patterns.PatternSet` wrapper used by the Boolean and
+interval activation-pattern monitors to store sets of activation words with
+don't-care expansion (``word2set``) at no exponential cost.
+"""
+
+from .manager import FALSE, TRUE, BDDManager
+from .patterns import DONT_CARE, PatternSet
+
+__all__ = ["BDDManager", "FALSE", "TRUE", "PatternSet", "DONT_CARE"]

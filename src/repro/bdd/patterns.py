@@ -1,0 +1,266 @@
+"""Activation-pattern sets stored in BDDs.
+
+Monitors built from Boolean (one bit per neuron) or interval (multiple bits
+per neuron) abstractions need a set data structure over fixed-width binary
+words that supports:
+
+* insertion of a fully specified word;
+* insertion of a *ternary* word containing don't-care symbols — the paper's
+  ``word2set`` — without enumerating the exponential expansion;
+* insertion of a word whose positions carry *sets* of admissible codes (the
+  robust interval monitor of Section III-C);
+* membership queries, Hamming-distance-relaxed membership, cardinality and
+  size introspection.
+
+:class:`PatternSet` wraps a :class:`~repro.bdd.manager.BDDManager` with this
+vocabulary.  Bits are mapped to BDD variables in word order (bit 0 of neuron
+0 first), matching the paper's example encoding ``(¬b10) ∧ (b20 ∨ b21) ∧ …``.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .manager import FALSE, TRUE, BDDManager
+
+__all__ = ["TernarySymbol", "PatternSet", "DONT_CARE"]
+
+#: Symbol used in ternary words for an unconstrained bit.
+DONT_CARE = "-"
+
+TernarySymbol = object  # 0, 1 or DONT_CARE
+
+
+class PatternSet:
+    """A set of fixed-width binary words represented as a BDD.
+
+    Parameters
+    ----------
+    num_positions:
+        Number of monitored neurons (word positions).
+    bits_per_position:
+        Number of bits used to encode each position (1 for on/off monitors,
+        2 or more for interval monitors).
+    """
+
+    def __init__(self, num_positions: int, bits_per_position: int = 1) -> None:
+        if num_positions <= 0:
+            raise ConfigurationError("num_positions must be positive")
+        if bits_per_position <= 0:
+            raise ConfigurationError("bits_per_position must be positive")
+        self.num_positions = int(num_positions)
+        self.bits_per_position = int(bits_per_position)
+        self.num_bits = self.num_positions * self.bits_per_position
+        self.manager = BDDManager(self.num_bits)
+        self._root = FALSE
+        self._insertions = 0
+
+    # ------------------------------------------------------------------
+    # bit-index bookkeeping
+    # ------------------------------------------------------------------
+    def bit_index(self, position: int, bit: int) -> int:
+        """BDD variable index of ``bit`` (MSB first) of neuron ``position``."""
+        if not 0 <= position < self.num_positions:
+            raise ConfigurationError(
+                f"position {position} outside [0, {self.num_positions})"
+            )
+        if not 0 <= bit < self.bits_per_position:
+            raise ConfigurationError(
+                f"bit {bit} outside [0, {self.bits_per_position})"
+            )
+        return position * self.bits_per_position + bit
+
+    def _code_bits(self, code: int) -> Tuple[bool, ...]:
+        """MSB-first bit tuple of an integer code for one position."""
+        if not 0 <= code < (1 << self.bits_per_position):
+            raise ConfigurationError(
+                f"code {code} does not fit in {self.bits_per_position} bits"
+            )
+        return tuple(
+            bool((code >> (self.bits_per_position - 1 - bit)) & 1)
+            for bit in range(self.bits_per_position)
+        )
+
+    def _word_to_assignment(self, word: Sequence[int]) -> List[bool]:
+        if len(word) != self.num_positions:
+            raise ConfigurationError(
+                f"word has {len(word)} positions, expected {self.num_positions}"
+            )
+        assignment: List[bool] = []
+        for code in word:
+            assignment.extend(self._code_bits(int(code)))
+        return assignment
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        """BDD root of the current set (exposed for advanced composition)."""
+        return self._root
+
+    @property
+    def insertions(self) -> int:
+        """Number of insert calls performed so far."""
+        return self._insertions
+
+    def add_word(self, word: Sequence[int]) -> None:
+        """Insert a fully specified word (one integer code per position)."""
+        assignment = self._word_to_assignment(word)
+        cube = self.manager.from_assignment(assignment)
+        self._root = self.manager.apply_or(self._root, cube)
+        self._insertions += 1
+
+    def add_ternary_word(self, word: Sequence[object]) -> None:
+        """Insert a ternary word of ``0`` / ``1`` / :data:`DONT_CARE` symbols.
+
+        Only meaningful for ``bits_per_position == 1``; each don't-care leaves
+        the corresponding BDD variable unconstrained (the paper's
+        ``word2set``).
+        """
+        if self.bits_per_position != 1:
+            raise ConfigurationError(
+                "ternary words require a 1-bit-per-position pattern set"
+            )
+        if len(word) != self.num_positions:
+            raise ConfigurationError(
+                f"word has {len(word)} positions, expected {self.num_positions}"
+            )
+        literals = {}
+        for position, symbol in enumerate(word):
+            if symbol == DONT_CARE:
+                continue
+            if symbol not in (0, 1, True, False):
+                raise ConfigurationError(f"invalid ternary symbol {symbol!r}")
+            literals[self.bit_index(position, 0)] = bool(symbol)
+        cube = self.manager.cube(literals)
+        self._root = self.manager.apply_or(self._root, cube)
+        self._insertions += 1
+
+    def add_code_sets(self, code_sets: Sequence[Iterable[int]]) -> None:
+        """Insert every word whose position ``i`` code lies in ``code_sets[i]``.
+
+        This is the robust interval monitor's ``word2set``: position ``i`` may
+        take any code from a non-empty set (e.g. ``{01, 10}``), and the
+        inserted set is the Cartesian product of the per-position sets.  The
+        BDD is built as a conjunction over positions of per-position
+        disjunctions, so the cost is linear in the total number of listed
+        codes — never in the product.
+        """
+        if len(code_sets) != self.num_positions:
+            raise ConfigurationError(
+                f"expected {self.num_positions} code sets, got {len(code_sets)}"
+            )
+        position_bdds: List[int] = []
+        for position, codes in enumerate(code_sets):
+            codes = sorted(set(int(code) for code in codes))
+            if not codes:
+                raise ConfigurationError(
+                    f"position {position} has an empty admissible code set"
+                )
+            for code in codes:
+                self._code_bits(code)  # validates the range
+            if len(codes) == (1 << self.bits_per_position):
+                # Every code admissible: the position is unconstrained.
+                position_bdds.append(TRUE)
+                continue
+            alternatives = []
+            for code in codes:
+                bits = self._code_bits(code)
+                literals = {
+                    self.bit_index(position, bit): bits[bit]
+                    for bit in range(self.bits_per_position)
+                }
+                alternatives.append(self.manager.cube(literals))
+            position_bdds.append(self.manager.disjoin(alternatives))
+        cube = self.manager.conjoin(position_bdds)
+        self._root = self.manager.apply_or(self._root, cube)
+        self._insertions += 1
+
+    def union(self, other: "PatternSet") -> None:
+        """In-place union with another pattern set sharing the same shape."""
+        if (
+            other.num_positions != self.num_positions
+            or other.bits_per_position != self.bits_per_position
+        ):
+            raise ConfigurationError("pattern sets have incompatible shapes")
+        if other.manager is self.manager:
+            self._root = self.manager.apply_or(self._root, other._root)
+            return
+        # Different managers: re-insert other's words (sound but slower).
+        for word in other.iterate_words():
+            self.add_word(word)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def contains(self, word: Sequence[int]) -> bool:
+        """True when the fully specified ``word`` belongs to the set."""
+        assignment = self._word_to_assignment(word)
+        return self.manager.evaluate(self._root, assignment)
+
+    def contains_within_hamming(self, word: Sequence[int], distance: int) -> bool:
+        """Membership relaxed by Hamming distance over *positions*.
+
+        Returns True when some stored word differs from ``word`` in at most
+        ``distance`` positions.  Distance 0 reduces to :meth:`contains`.  This
+        reproduces the enlargement knob of the original DATE'19 monitor.
+        """
+        if distance < 0:
+            raise ConfigurationError("Hamming distance must be non-negative")
+        if self.contains(word):
+            return True
+        if distance == 0:
+            return False
+        base_assignment = self._word_to_assignment(word)
+        positions = range(self.num_positions)
+        for radius in range(1, min(distance, self.num_positions) + 1):
+            for flipped in combinations(positions, radius):
+                remaining = self._root
+                fixed = {}
+                for position in positions:
+                    if position in flipped:
+                        continue
+                    for bit in range(self.bits_per_position):
+                        index = self.bit_index(position, bit)
+                        fixed[index] = base_assignment[index]
+                restricted = self.manager.restrict(remaining, fixed)
+                if restricted != FALSE:
+                    return True
+        return False
+
+    def cardinality(self) -> int:
+        """Number of fully specified words in the set."""
+        return self.manager.count_solutions_exact(self._root)
+
+    def dag_size(self) -> int:
+        """Number of BDD nodes used to represent the set."""
+        return self.manager.dag_size(self._root)
+
+    def is_empty(self) -> bool:
+        return self._root == FALSE
+
+    def iterate_words(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield the fully specified words of the set as code tuples."""
+        for model in self.manager.iterate_models(self._root, limit=limit):
+            word = []
+            for position in range(self.num_positions):
+                code = 0
+                for bit in range(self.bits_per_position):
+                    code = (code << 1) | int(model[self.bit_index(position, bit)])
+                word.append(code)
+            yield tuple(word)
+
+    def __len__(self) -> int:
+        return self.cardinality()
+
+    def __contains__(self, word: Sequence[int]) -> bool:
+        return self.contains(word)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PatternSet(positions={self.num_positions}, "
+            f"bits={self.bits_per_position}, nodes={self.dag_size()})"
+        )

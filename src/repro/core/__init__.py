@@ -1,0 +1,17 @@
+"""End-to-end pipelines tying networks, monitors, data and evaluation together."""
+
+from .pipeline import (
+    MonitoringWorkload,
+    MonitorPipeline,
+    build_digits_workload,
+    build_track_workload,
+    default_monitored_layer,
+)
+
+__all__ = [
+    "MonitoringWorkload",
+    "MonitorPipeline",
+    "build_track_workload",
+    "build_digits_workload",
+    "default_monitored_layer",
+]

@@ -1,0 +1,241 @@
+"""End-to-end monitoring pipelines.
+
+The :class:`MonitorPipeline` ties the substrates together in the order the
+paper's lab deployment uses them:
+
+1. train (or accept) a network on an in-ODD dataset;
+2. pick a monitored layer (by default the last hidden activation layer);
+3. build a standard monitor and a robust monitor with a chosen
+   ``(Δ, k_p, back-end)`` perturbation model;
+4. evaluate both on in-ODD data (false positives) and on a suite of
+   out-of-ODD scenarios (detection), reproducing the Section IV comparison.
+
+:func:`build_track_workload` and :func:`build_digits_workload` construct the
+two reference workloads of the reproduction (the Figure 2 race-track
+regression task and the MNIST-like classification task).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..data.datasets import Dataset, train_validation_test_split
+from ..data.scenarios import in_odd_jitter, scenario_suite
+from ..data.synthetic_digits import generate_digits
+from ..data.track import TrackConfig, generate_track_dataset
+from ..eval.experiments import ExperimentResult, MonitorExperiment
+from ..exceptions import ConfigurationError
+from ..monitors.builder import MonitorBuilder
+from ..monitors.perturbation import PerturbationSpec
+from ..nn.layers import ActivationLayer
+from ..nn.network import Sequential, mlp
+from ..nn.training import train_classifier, train_regressor
+
+__all__ = [
+    "MonitoringWorkload",
+    "MonitorPipeline",
+    "default_monitored_layer",
+    "build_track_workload",
+    "build_digits_workload",
+]
+
+
+def default_monitored_layer(network: Sequential) -> int:
+    """Pick the close-to-output layer the paper monitors.
+
+    Returns the index (1-based) of the *last hidden activation layer*, i.e.
+    the activation layer closest to the output that is not the output
+    activation itself; falls back to the penultimate layer when the network
+    has no activation layers.
+    """
+    activation_indices = [
+        index
+        for index, layer in enumerate(network.layers, start=1)
+        if isinstance(layer, ActivationLayer) and index < network.num_layers
+    ]
+    if activation_indices:
+        return activation_indices[-1]
+    if network.num_layers >= 2:
+        return network.num_layers - 1
+    return network.num_layers
+
+
+@dataclass
+class MonitoringWorkload:
+    """A trained network plus the datasets needed to evaluate monitors."""
+
+    network: Sequential
+    train: Dataset
+    in_odd_eval: Dataset
+    out_of_odd_eval: Dict[str, Dataset]
+    name: str = "workload"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def experiment(self) -> MonitorExperiment:
+        """Convert the workload into a :class:`MonitorExperiment`."""
+        return MonitorExperiment(
+            network=self.network,
+            fit_inputs=self.train.inputs,
+            in_odd_inputs=self.in_odd_eval.inputs,
+            out_of_odd_inputs={
+                name: dataset.inputs for name, dataset in self.out_of_odd_eval.items()
+            },
+        )
+
+
+class MonitorPipeline:
+    """Standard-vs-robust monitor comparison on a workload.
+
+    Parameters
+    ----------
+    workload:
+        The trained network and evaluation data.
+    family:
+        Monitor family (``"minmax"``, ``"boolean"`` or ``"interval"``).
+    layer_index:
+        Monitored layer; ``None`` selects the last hidden activation layer.
+    perturbation:
+        Perturbation model for the robust monitor.
+    options:
+        Extra keyword arguments forwarded to both monitor constructors.
+    """
+
+    def __init__(
+        self,
+        workload: MonitoringWorkload,
+        family: str = "boolean",
+        layer_index: Optional[int] = None,
+        perturbation: Optional[PerturbationSpec] = None,
+        **options,
+    ) -> None:
+        self.workload = workload
+        self.family = family
+        self.layer_index = (
+            layer_index
+            if layer_index is not None
+            else default_monitored_layer(workload.network)
+        )
+        self.perturbation = perturbation or PerturbationSpec(delta=0.05, layer=0, method="box")
+        if self.perturbation.delta <= 0:
+            raise ConfigurationError("the robust pipeline needs a strictly positive Δ")
+        self.options = dict(options)
+        self.standard_builder = MonitorBuilder(
+            family, self.layer_index, perturbation=None, **self.options
+        )
+        self.robust_builder = MonitorBuilder(
+            family, self.layer_index, perturbation=self.perturbation, **self.options
+        )
+
+    def run(self) -> ExperimentResult:
+        """Fit and score the standard and robust monitors side by side."""
+        experiment = self.workload.experiment()
+        return experiment.run_builders(
+            {"standard": self.standard_builder, "robust": self.robust_builder}
+        )
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "workload": self.workload.name,
+            "family": self.family,
+            "layer_index": self.layer_index,
+            "perturbation": self.perturbation.describe(),
+            "options": dict(self.options),
+        }
+
+
+# ----------------------------------------------------------------------
+# reference workloads
+# ----------------------------------------------------------------------
+def build_track_workload(
+    num_samples: int = 400,
+    hidden_dims: Sequence[int] = (32, 16),
+    epochs: int = 15,
+    jitter_brightness: float = 0.04,
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    config: Optional[TrackConfig] = None,
+) -> MonitoringWorkload:
+    """Build the Figure-2 style race-track waypoint workload.
+
+    A small MLP regresses waypoints from synthetic track images; the in-ODD
+    evaluation set is the held-out test split with aleatory jitter applied,
+    and the out-of-ODD suite defaults to the paper's dark / construction /
+    ice scenarios.
+    """
+    config = config or TrackConfig()
+    dataset = generate_track_dataset(num_samples, config=config, seed=seed)
+    train, validation, test = train_validation_test_split(dataset, seed=seed + 1)
+    network = mlp(
+        input_dim=dataset.num_features,
+        hidden_dims=list(hidden_dims),
+        output_dim=2,
+        activation="relu",
+        seed=seed + 2,
+    )
+    train_regressor(
+        network,
+        train.inputs,
+        train.targets,
+        epochs=epochs,
+        validation_data=(validation.inputs, validation.targets),
+        seed=seed + 3,
+    )
+    in_odd_eval = in_odd_jitter(
+        test, brightness_std=jitter_brightness, noise_std=jitter_brightness / 3.0, seed=seed + 4
+    )
+    out_of_odd = scenario_suite(test, names=list(scenarios) if scenarios else None, seed=seed + 5)
+    return MonitoringWorkload(
+        network=network,
+        train=train,
+        in_odd_eval=in_odd_eval,
+        out_of_odd_eval=out_of_odd,
+        name="track-waypoints",
+        metadata={"seed": seed, "epochs": epochs, "hidden_dims": list(hidden_dims)},
+    )
+
+
+def build_digits_workload(
+    num_samples: int = 600,
+    num_classes: int = 5,
+    hidden_dims: Sequence[int] = (48, 24),
+    epochs: int = 15,
+    scenarios: Optional[Sequence[str]] = None,
+    seed: int = 0,
+) -> MonitoringWorkload:
+    """Build the MNIST-like synthetic-digits classification workload."""
+    dataset = generate_digits(num_samples, num_classes=num_classes, seed=seed)
+    train, validation, test = train_validation_test_split(dataset, seed=seed + 1)
+    network = mlp(
+        input_dim=dataset.num_features,
+        hidden_dims=list(hidden_dims),
+        output_dim=num_classes,
+        activation="relu",
+        seed=seed + 2,
+    )
+    train_classifier(
+        network,
+        train.inputs,
+        train.targets,
+        num_classes=num_classes,
+        epochs=epochs,
+        validation_data=(validation.inputs, validation.targets),
+        seed=seed + 3,
+    )
+    in_odd_eval = in_odd_jitter(test, brightness_std=0.03, noise_std=0.01, seed=seed + 4)
+    out_of_odd = scenario_suite(test, names=list(scenarios) if scenarios else None, seed=seed + 5)
+    return MonitoringWorkload(
+        network=network,
+        train=train,
+        in_odd_eval=in_odd_eval,
+        out_of_odd_eval=out_of_odd,
+        name="synthetic-digits",
+        metadata={
+            "seed": seed,
+            "epochs": epochs,
+            "num_classes": num_classes,
+            "hidden_dims": list(hidden_dims),
+        },
+    )

@@ -1,0 +1,66 @@
+"""Data substrate: synthetic workloads and out-of-ODD scenario generators.
+
+Replaces the paper's MNIST/GTSRB datasets and the physical laboratory race
+track with procedural, seedable generators:
+
+* :mod:`repro.data.synthetic_digits` — MNIST-like digit classification;
+* :mod:`repro.data.track` — top-down track images with waypoint regression
+  targets (the Figure 2 workload);
+* :mod:`repro.data.scenarios` — in-ODD jitter and out-of-ODD scenarios
+  (dark, construction, ice, fog, sensor noise, occlusion);
+* :mod:`repro.data.perturbations` — Δ-bounded input perturbation samplers
+  used by the robustness experiments and property tests.
+"""
+
+from .datasets import Dataset, train_validation_test_split
+from .perturbations import (
+    corner_perturbations,
+    gaussian_perturbations,
+    perturb_dataset_inputs,
+    uniform_perturbations,
+)
+from .scenarios import (
+    SCENARIOS,
+    apply_scenario,
+    construction_scenario,
+    dark_scenario,
+    fog_scenario,
+    ice_scenario,
+    in_odd_jitter,
+    occlusion_scenario,
+    scenario_suite,
+    sensor_noise_scenario,
+)
+from .synthetic_digits import (
+    IMAGE_SIZE,
+    generate_digits,
+    generate_novel_glyphs,
+    render_digit,
+)
+from .track import TrackConfig, generate_track_dataset, render_track_image
+
+__all__ = [
+    "Dataset",
+    "train_validation_test_split",
+    "IMAGE_SIZE",
+    "generate_digits",
+    "generate_novel_glyphs",
+    "render_digit",
+    "TrackConfig",
+    "generate_track_dataset",
+    "render_track_image",
+    "SCENARIOS",
+    "apply_scenario",
+    "scenario_suite",
+    "in_odd_jitter",
+    "dark_scenario",
+    "construction_scenario",
+    "ice_scenario",
+    "fog_scenario",
+    "sensor_noise_scenario",
+    "occlusion_scenario",
+    "uniform_perturbations",
+    "corner_perturbations",
+    "gaussian_perturbations",
+    "perturb_dataset_inputs",
+]

@@ -1,0 +1,175 @@
+"""Dataset containers and split utilities.
+
+All workloads in the reproduction are expressed as a :class:`Dataset` — a
+bundle of flattened input vectors plus targets (integer class labels for the
+digits workload, waypoint coordinates for the track workload) with helpers
+for shuffling, splitting, batching and summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError, ShapeError
+
+__all__ = ["Dataset", "train_validation_test_split"]
+
+
+@dataclass
+class Dataset:
+    """A supervised dataset of flattened inputs and targets.
+
+    ``inputs`` has shape ``(num_samples, num_features)``; ``targets`` is
+    either 1-D (integer labels) or 2-D (regression targets).  ``metadata``
+    carries generator parameters so experiments can be reproduced exactly.
+    """
+
+    inputs: np.ndarray
+    targets: np.ndarray
+    name: str = "dataset"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        inputs = np.asarray(self.inputs, dtype=np.float64)
+        targets = np.asarray(self.targets)
+        if inputs.ndim != 2:
+            inputs = inputs.reshape(inputs.shape[0], -1)
+        if targets.shape[0] != inputs.shape[0]:
+            raise ShapeError(
+                f"inputs have {inputs.shape[0]} samples but targets have "
+                f"{targets.shape[0]}"
+            )
+        self.inputs = inputs
+        self.targets = targets
+
+    # ------------------------------------------------------------------
+    @property
+    def num_samples(self) -> int:
+        return int(self.inputs.shape[0])
+
+    @property
+    def num_features(self) -> int:
+        return int(self.inputs.shape[1])
+
+    @property
+    def is_classification(self) -> bool:
+        """True when targets are 1-D integer class labels."""
+        return self.targets.ndim == 1 and np.issubdtype(self.targets.dtype, np.integer)
+
+    @property
+    def num_classes(self) -> int:
+        if not self.is_classification:
+            raise DataError(f"dataset '{self.name}' is not a classification dataset")
+        return int(self.targets.max()) + 1 if self.num_samples else 0
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    # ------------------------------------------------------------------
+    def shuffled(self, seed: Optional[int] = None) -> "Dataset":
+        """Return a copy with rows shuffled."""
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(self.num_samples)
+        return Dataset(
+            self.inputs[order],
+            self.targets[order],
+            name=self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Return the rows selected by ``indices`` as a new dataset."""
+        indices = np.asarray(indices)
+        return Dataset(
+            self.inputs[indices],
+            self.targets[indices],
+            name=name or self.name,
+            metadata=dict(self.metadata),
+        )
+
+    def take(self, count: int, name: Optional[str] = None) -> "Dataset":
+        """Return the first ``count`` rows."""
+        if count < 0:
+            raise DataError("take() count must be non-negative")
+        return self.subset(np.arange(min(count, self.num_samples)), name=name)
+
+    def split(self, fraction: float, seed: Optional[int] = None) -> Tuple["Dataset", "Dataset"]:
+        """Split into two datasets; the first receives ``fraction`` of the rows."""
+        if not 0.0 < fraction < 1.0:
+            raise DataError("split fraction must lie strictly between 0 and 1")
+        shuffled = self.shuffled(seed)
+        cut = int(round(fraction * self.num_samples))
+        cut = min(max(cut, 1), self.num_samples - 1)
+        first = shuffled.subset(np.arange(cut), name=f"{self.name}-a")
+        second = shuffled.subset(np.arange(cut, self.num_samples), name=f"{self.name}-b")
+        return first, second
+
+    def class_subset(self, class_id: int) -> "Dataset":
+        """Rows whose label equals ``class_id`` (classification only)."""
+        if not self.is_classification:
+            raise DataError("class_subset() requires a classification dataset")
+        mask = self.targets == int(class_id)
+        return self.subset(np.nonzero(mask)[0], name=f"{self.name}-class{class_id}")
+
+    def batches(self, batch_size: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield contiguous ``(inputs, targets)`` batches."""
+        if batch_size <= 0:
+            raise DataError("batch_size must be positive")
+        for start in range(0, self.num_samples, batch_size):
+            stop = start + batch_size
+            yield self.inputs[start:stop], self.targets[start:stop]
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Lightweight statistics used by the experiment reports."""
+        info: Dict[str, object] = {
+            "name": self.name,
+            "num_samples": self.num_samples,
+            "num_features": self.num_features,
+            "input_min": float(self.inputs.min()) if self.num_samples else None,
+            "input_max": float(self.inputs.max()) if self.num_samples else None,
+        }
+        if self.is_classification and self.num_samples:
+            counts = np.bincount(self.targets, minlength=self.num_classes)
+            info["class_counts"] = counts.tolist()
+        return info
+
+    def with_inputs(self, inputs: np.ndarray, name: Optional[str] = None) -> "Dataset":
+        """Same targets, different inputs (used by scenario transforms)."""
+        return Dataset(
+            inputs,
+            self.targets,
+            name=name or self.name,
+            metadata=dict(self.metadata),
+        )
+
+
+def train_validation_test_split(
+    dataset: Dataset,
+    train_fraction: float = 0.7,
+    validation_fraction: float = 0.15,
+    seed: Optional[int] = None,
+) -> Tuple[Dataset, Dataset, Dataset]:
+    """Split a dataset into train/validation/test portions.
+
+    The remaining ``1 - train - validation`` fraction becomes the test split.
+    """
+    if train_fraction <= 0 or validation_fraction < 0:
+        raise DataError("split fractions must be positive")
+    if train_fraction + validation_fraction >= 1.0:
+        raise DataError("train + validation fractions must leave room for a test split")
+    shuffled = dataset.shuffled(seed)
+    n = shuffled.num_samples
+    train_end = int(round(train_fraction * n))
+    validation_end = train_end + int(round(validation_fraction * n))
+    train_end = max(1, min(train_end, n - 2))
+    validation_end = max(train_end + 1, min(validation_end, n - 1))
+    train = shuffled.subset(np.arange(train_end), name=f"{dataset.name}-train")
+    validation = shuffled.subset(
+        np.arange(train_end, validation_end), name=f"{dataset.name}-validation"
+    )
+    test = shuffled.subset(np.arange(validation_end, n), name=f"{dataset.name}-test")
+    return train, validation, test

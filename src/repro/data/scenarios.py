@@ -1,0 +1,242 @@
+"""Out-of-ODD scenario transforms.
+
+Section IV of the paper evaluates the monitor against engineered abnormal
+situations on the laboratory track — dark conditions, a construction site and
+ice on the track (Figure 2) — plus the in-ODD aleatory perturbations that
+cause the false positives the robust construction suppresses.
+
+Each scenario is a deterministic-given-seed transformation applied to the
+flattened images of a :class:`~repro.data.datasets.Dataset`, so the same
+nominal test set can be replayed under every condition:
+
+* ``dark`` — strong global illumination drop with additive sensor noise;
+* ``construction`` — bright blocky obstacles placed on the road surface;
+* ``ice`` — high-reflectance patches washing out road/background contrast;
+* ``fog`` — contrast compression towards a bright haze value;
+* ``sensor_noise`` — heavy pixel noise (failing imager);
+* ``occlusion`` — a dark band occluding part of the view;
+* ``in_odd_jitter`` — *small* brightness/noise jitter that stays inside the
+  ODD and should NOT be detected (used to measure false positives).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..exceptions import DataError
+from .datasets import Dataset
+
+__all__ = [
+    "SCENARIOS",
+    "apply_scenario",
+    "scenario_suite",
+    "in_odd_jitter",
+    "dark_scenario",
+    "construction_scenario",
+    "ice_scenario",
+    "fog_scenario",
+    "sensor_noise_scenario",
+    "occlusion_scenario",
+]
+
+
+def _square_size(num_features: int) -> int:
+    size = int(round(np.sqrt(num_features)))
+    if size * size != num_features:
+        raise DataError(
+            f"scenario transforms expect square images; {num_features} features "
+            "is not a perfect square"
+        )
+    return size
+
+
+def _transform(
+    dataset: Dataset,
+    per_image: Callable[[np.ndarray, np.random.Generator], np.ndarray],
+    name: str,
+    seed: Optional[int],
+) -> Dataset:
+    rng = np.random.default_rng(seed)
+    size = _square_size(dataset.num_features)
+    outputs = np.empty_like(dataset.inputs)
+    for index in range(dataset.num_samples):
+        image = dataset.inputs[index].reshape(size, size)
+        outputs[index] = np.clip(per_image(image, rng), 0.0, 1.0).ravel()
+    transformed = dataset.with_inputs(outputs, name=f"{dataset.name}-{name}")
+    transformed.metadata["scenario"] = name
+    return transformed
+
+
+# ----------------------------------------------------------------------
+# in-ODD aleatory perturbation (should NOT raise warnings)
+# ----------------------------------------------------------------------
+def in_odd_jitter(
+    dataset: Dataset,
+    brightness_std: float = 0.03,
+    noise_std: float = 0.01,
+    seed: Optional[int] = None,
+) -> Dataset:
+    """Small lighting/noise jitter representing in-ODD aleatory uncertainty."""
+    if brightness_std < 0 or noise_std < 0:
+        raise DataError("jitter magnitudes must be non-negative")
+
+    def per_image(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        factor = 1.0 + rng.normal(0.0, brightness_std)
+        return image * factor + rng.normal(0.0, noise_std, size=image.shape)
+
+    return _transform(dataset, per_image, "in-odd-jitter", seed)
+
+
+# ----------------------------------------------------------------------
+# out-of-ODD scenarios (SHOULD raise warnings)
+# ----------------------------------------------------------------------
+def dark_scenario(
+    dataset: Dataset,
+    brightness: float = 0.25,
+    noise_std: float = 0.05,
+    seed: Optional[int] = None,
+) -> Dataset:
+    """Dark conditions: strong illumination drop plus sensor noise."""
+    if not 0.0 <= brightness <= 1.0:
+        raise DataError("brightness must lie in [0, 1]")
+
+    def per_image(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return image * brightness + rng.normal(0.0, noise_std, size=image.shape)
+
+    return _transform(dataset, per_image, "dark", seed)
+
+
+def construction_scenario(
+    dataset: Dataset,
+    num_obstacles: int = 3,
+    obstacle_size: int = 3,
+    brightness: float = 1.0,
+    seed: Optional[int] = None,
+) -> Dataset:
+    """Construction site: bright blocky obstacles dropped onto the scene."""
+    if num_obstacles <= 0 or obstacle_size <= 0:
+        raise DataError("construction scenario needs positive obstacle parameters")
+
+    def per_image(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        size = image.shape[0]
+        result = np.array(image, copy=True)
+        for _ in range(num_obstacles):
+            row = int(rng.integers(0, max(size - obstacle_size, 1)))
+            col = int(rng.integers(0, max(size - obstacle_size, 1)))
+            result[row : row + obstacle_size, col : col + obstacle_size] = brightness
+            # Striped warning pattern on alternate rows of the obstacle.
+            result[row : row + obstacle_size : 2, col : col + obstacle_size] = 0.1
+        return result
+
+    return _transform(dataset, per_image, "construction", seed)
+
+
+def ice_scenario(
+    dataset: Dataset,
+    num_patches: int = 4,
+    patch_size: int = 4,
+    reflectance: float = 0.95,
+    seed: Optional[int] = None,
+) -> Dataset:
+    """Ice on the track: large high-reflectance patches wash out contrast."""
+    if num_patches <= 0 or patch_size <= 0:
+        raise DataError("ice scenario needs positive patch parameters")
+
+    def per_image(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        size = image.shape[0]
+        result = np.array(image, copy=True)
+        for _ in range(num_patches):
+            row = int(rng.integers(0, max(size - patch_size, 1)))
+            col = int(rng.integers(0, max(size - patch_size, 1)))
+            patch = result[row : row + patch_size, col : col + patch_size]
+            result[row : row + patch_size, col : col + patch_size] = (
+                0.3 * patch + 0.7 * reflectance
+            )
+        return result
+
+    return _transform(dataset, per_image, "ice", seed)
+
+
+def fog_scenario(
+    dataset: Dataset, density: float = 0.6, haze: float = 0.8, seed: Optional[int] = None
+) -> Dataset:
+    """Fog: blend every pixel towards a bright haze value."""
+    if not 0.0 <= density <= 1.0:
+        raise DataError("fog density must lie in [0, 1]")
+
+    def per_image(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (1.0 - density) * image + density * haze
+
+    return _transform(dataset, per_image, "fog", seed)
+
+
+def sensor_noise_scenario(
+    dataset: Dataset, noise_std: float = 0.25, seed: Optional[int] = None
+) -> Dataset:
+    """Failing imager: heavy independent pixel noise."""
+    if noise_std <= 0:
+        raise DataError("sensor noise std must be positive")
+
+    def per_image(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return image + rng.normal(0.0, noise_std, size=image.shape)
+
+    return _transform(dataset, per_image, "sensor-noise", seed)
+
+
+def occlusion_scenario(
+    dataset: Dataset, band_width: int = 5, seed: Optional[int] = None
+) -> Dataset:
+    """A dark band (e.g. dirt on the lens) occluding part of the image."""
+    if band_width <= 0:
+        raise DataError("occlusion band width must be positive")
+
+    def per_image(image: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        size = image.shape[0]
+        result = np.array(image, copy=True)
+        start = int(rng.integers(0, max(size - band_width, 1)))
+        result[:, start : start + band_width] = 0.05
+        return result
+
+    return _transform(dataset, per_image, "occlusion", seed)
+
+
+#: Registry of out-of-ODD scenario constructors keyed by name.
+SCENARIOS: Dict[str, Callable[..., Dataset]] = {
+    "dark": dark_scenario,
+    "construction": construction_scenario,
+    "ice": ice_scenario,
+    "fog": fog_scenario,
+    "sensor_noise": sensor_noise_scenario,
+    "occlusion": occlusion_scenario,
+}
+
+
+def apply_scenario(name: str, dataset: Dataset, seed: Optional[int] = None, **kwargs) -> Dataset:
+    """Apply the named out-of-ODD scenario to ``dataset``."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(SCENARIOS))
+        raise DataError(f"unknown scenario '{name}'; known scenarios: {known}") from exc
+    return scenario(dataset, seed=seed, **kwargs)
+
+
+def scenario_suite(
+    dataset: Dataset,
+    names: Optional[List[str]] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, Dataset]:
+    """Apply several scenarios to the same dataset and return them by name.
+
+    The default suite is the paper's three Figure-2 scenarios (dark,
+    construction, ice).
+    """
+    if names is None:
+        names = ["dark", "construction", "ice"]
+    suite = {}
+    for index, name in enumerate(names):
+        scenario_seed = None if seed is None else seed + index
+        suite[name] = apply_scenario(name, dataset, seed=scenario_seed)
+    return suite

@@ -1,0 +1,167 @@
+"""Synthetic race-track imagery with visual-waypoint regression targets.
+
+The paper's evaluation (Section IV, Figure 2) uses a physical laboratory race
+track: a DNN predicts visual waypoints from camera images and a monitor
+watches a close-to-output layer for out-of-ODD situations such as darkness,
+a construction site on the track or ice.  This module substitutes a
+procedural top-down track-view generator:
+
+* each image shows a road band crossing a textured background, with the road
+  lateral offset and heading drawn from the operational design domain (ODD);
+* the regression target is the normalised ``(lateral offset, heading)`` pair
+  of the next waypoint, which a small MLP learns easily;
+* aleatory in-ODD variation (lighting, texture noise, slight blur) models the
+  randomness of a real data-collection campaign — the source of the false
+  positives the robust monitor is designed to suppress;
+* the out-of-ODD scenario transforms live in :mod:`repro.data.scenarios`.
+
+Images are 16×16 grayscale, flattened to 256-dimensional input vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DataError
+from .datasets import Dataset
+
+__all__ = ["TrackConfig", "render_track_image", "generate_track_dataset"]
+
+#: Side length of the square track images.
+TRACK_IMAGE_SIZE = 16
+
+
+@dataclass(frozen=True)
+class TrackConfig:
+    """Parameters of the procedural track-image generator.
+
+    ``offset_range`` and ``heading_range`` define the ODD: lateral offsets
+    (fraction of image width, 0.5 = centre) and headings (radians) outside
+    these ranges are by definition out-of-ODD.
+    """
+
+    image_size: int = TRACK_IMAGE_SIZE
+    road_width: float = 0.30
+    offset_range: Tuple[float, float] = (0.30, 0.70)
+    heading_range: Tuple[float, float] = (-0.45, 0.45)
+    ambient_brightness: float = 0.35
+    road_brightness: float = 0.95
+    lane_marking: bool = True
+    noise: float = 0.03
+
+    def __post_init__(self) -> None:
+        if self.image_size < 8:
+            raise DataError("track images need at least 8 pixels per side")
+        if not 0.05 <= self.road_width <= 0.9:
+            raise DataError("road width must lie in [0.05, 0.9]")
+        if not 0.0 <= self.offset_range[0] < self.offset_range[1] <= 1.0:
+            raise DataError("offset range must be an increasing pair inside [0, 1]")
+        if self.heading_range[0] >= self.heading_range[1]:
+            raise DataError("heading range must be increasing")
+
+
+def render_track_image(
+    offset: float,
+    heading: float,
+    config: TrackConfig = TrackConfig(),
+    rng: Optional[np.random.Generator] = None,
+    brightness_scale: float = 1.0,
+) -> np.ndarray:
+    """Render one top-down track image.
+
+    Parameters
+    ----------
+    offset:
+        Lateral position of the road centre at the bottom of the image as a
+        fraction of the image width.
+    heading:
+        Road heading in radians; positive values bend the road towards the
+        right as it recedes towards the top of the image.
+    brightness_scale:
+        Global illumination multiplier (used by the "dark" scenario).
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    size = config.image_size
+    ys, xs = np.mgrid[0:size, 0:size]
+    px = (xs + 0.5) / size
+    py = (ys + 0.5) / size  # 0 at the top, 1 at the bottom
+    # Road centreline: at the bottom the centre is `offset`, and it shifts
+    # with the heading as the row moves towards the top of the image.
+    depth = 1.0 - py
+    centre = offset + np.tan(heading) * depth * 0.6
+    distance = np.abs(px - centre)
+    half_width = config.road_width / 2.0
+    road_mask = np.clip(1.0 - (distance / half_width) ** 2, 0.0, 1.0)
+    image = config.ambient_brightness * (0.8 + 0.2 * depth)
+    image = image + (config.road_brightness - config.ambient_brightness) * road_mask
+    if config.lane_marking:
+        marking = np.clip(1.0 - (distance / (half_width * 0.12)) ** 2, 0.0, 1.0)
+        dashes = ((ys // 2) % 2 == 0).astype(np.float64)
+        image = image + 0.25 * marking * dashes
+    image = image * brightness_scale
+    if config.noise > 0:
+        image = image + rng.normal(0.0, config.noise, size=image.shape)
+    return np.clip(image, 0.0, 1.0)
+
+
+def _sample_pose(
+    config: TrackConfig, rng: np.random.Generator
+) -> Tuple[float, float]:
+    offset = rng.uniform(*config.offset_range)
+    heading = rng.uniform(*config.heading_range)
+    return float(offset), float(heading)
+
+
+def generate_track_dataset(
+    num_samples: int,
+    config: TrackConfig = TrackConfig(),
+    seed: Optional[int] = None,
+    lighting_variation: float = 0.1,
+    name: str = "track-waypoints",
+) -> Dataset:
+    """Generate an in-ODD track dataset with waypoint regression targets.
+
+    The regression target of each image is ``(offset, heading_normalised)``
+    where the heading is rescaled to roughly ``[0, 1]`` so both outputs share
+    the same scale.  ``lighting_variation`` is the standard deviation of the
+    per-image global brightness factor — the aleatory in-ODD uncertainty.
+    """
+    if num_samples <= 0:
+        raise DataError("num_samples must be positive")
+    if lighting_variation < 0:
+        raise DataError("lighting_variation must be non-negative")
+    rng = np.random.default_rng(seed)
+    size = config.image_size
+    inputs = np.empty((num_samples, size * size), dtype=np.float64)
+    targets = np.empty((num_samples, 2), dtype=np.float64)
+    heading_low, heading_high = config.heading_range
+    heading_span = heading_high - heading_low
+    for index in range(num_samples):
+        offset, heading = _sample_pose(config, rng)
+        brightness = float(np.clip(1.0 + rng.normal(0.0, lighting_variation), 0.5, 1.5))
+        image = render_track_image(
+            offset, heading, config=config, rng=rng, brightness_scale=brightness
+        )
+        inputs[index] = image.ravel()
+        targets[index, 0] = offset
+        targets[index, 1] = (heading - heading_low) / heading_span
+    return Dataset(
+        inputs,
+        targets,
+        name=name,
+        metadata={
+            "generator": "track",
+            "image_size": size,
+            "lighting_variation": lighting_variation,
+            "config": {
+                "road_width": config.road_width,
+                "offset_range": list(config.offset_range),
+                "heading_range": list(config.heading_range),
+            },
+            "seed": seed,
+        },
+    )

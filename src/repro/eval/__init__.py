@@ -1,0 +1,46 @@
+"""Evaluation harness: metrics, experiment runners, sweeps, coverage and reporting."""
+
+from .coverage import (
+    MonitorabilityReport,
+    envelope_occupancy,
+    monitorability_report,
+    neuron_saturation,
+    pattern_space_coverage,
+)
+from .experiments import ExperimentResult, MonitorExperiment, compare_monitors
+from .metrics import (
+    ConfusionCounts,
+    MonitorScore,
+    confusion_counts,
+    detection_rate,
+    false_positive_rate,
+    reduction_factor,
+    score_monitor,
+)
+from .reporting import format_rate, format_results_table, format_table
+from .sweep import bit_width_sweep, delta_sweep, layer_sweep, method_sweep
+
+__all__ = [
+    "MonitorExperiment",
+    "ExperimentResult",
+    "compare_monitors",
+    "false_positive_rate",
+    "detection_rate",
+    "reduction_factor",
+    "confusion_counts",
+    "ConfusionCounts",
+    "MonitorScore",
+    "score_monitor",
+    "format_table",
+    "format_rate",
+    "format_results_table",
+    "delta_sweep",
+    "method_sweep",
+    "bit_width_sweep",
+    "layer_sweep",
+    "MonitorabilityReport",
+    "monitorability_report",
+    "pattern_space_coverage",
+    "envelope_occupancy",
+    "neuron_saturation",
+]

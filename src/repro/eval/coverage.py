@@ -1,0 +1,141 @@
+"""Monitorability and abstraction-coverage metrics.
+
+Section IV of the paper observes that some monitors, "although demonstrating
+0% false positive, are inefficient in that only a few warnings are raised",
+and proposes studying how to train networks with better *monitorability*.
+This module provides the measurements such a study needs:
+
+* **abstraction coverage** — what fraction of the representable pattern space
+  the fitted abstraction occupies (a fully saturated abstraction can never
+  warn, so lower is better for detection capability);
+* **envelope occupancy** — the analogous measure for min-max monitors: the
+  envelope volume relative to a reference operating range;
+* **neuron saturation** — the fraction of monitored neurons whose bit/code is
+  constant across the training data (a saturated neuron contributes nothing
+  to the monitor's discriminative power);
+* **monitorability score** — a single figure of merit combining coverage and
+  saturation, suitable for comparing candidate layers or network trainings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..monitors.boolean import BooleanPatternMonitor
+from ..monitors.interval import IntervalPatternMonitor
+from ..monitors.minmax import MinMaxMonitor
+
+__all__ = [
+    "pattern_space_coverage",
+    "envelope_occupancy",
+    "neuron_saturation",
+    "MonitorabilityReport",
+    "monitorability_report",
+]
+
+PatternMonitor = Union[BooleanPatternMonitor, IntervalPatternMonitor]
+
+
+def _require_fitted(monitor) -> None:
+    if not monitor.is_fitted:
+        raise NotFittedError("coverage metrics require a fitted monitor")
+
+
+def pattern_space_coverage(monitor: PatternMonitor) -> float:
+    """Fraction of the representable code space stored in the abstraction.
+
+    A Boolean monitor over ``m`` neurons can represent ``2^m`` words; an
+    interval monitor with ``b`` bits per neuron ``2^(m·b)``.  The coverage is
+    ``|stored set| / |representable set|`` computed exactly from the BDD model
+    count (as a float; for wide layers the denominator is astronomically
+    large, which is precisely the point — useful monitors occupy a vanishing
+    fraction of the space).
+    """
+    if not isinstance(monitor, (BooleanPatternMonitor, IntervalPatternMonitor)):
+        raise ConfigurationError("pattern_space_coverage needs a pattern monitor")
+    _require_fitted(monitor)
+    total_bits = monitor.patterns.num_bits
+    stored = monitor.patterns.cardinality()
+    return float(stored) / float(2**total_bits)
+
+
+def envelope_occupancy(monitor: MinMaxMonitor, reference_low: np.ndarray, reference_high: np.ndarray) -> float:
+    """Mean per-neuron fraction of a reference range covered by the envelope.
+
+    ``reference_low`` / ``reference_high`` describe the operating range the
+    monitored neurons can plausibly take (e.g. the min/max observed over a
+    large probe set).  An occupancy of 1.0 means the envelope spans the whole
+    reference range in every dimension — such a monitor can never warn inside
+    that range.
+    """
+    if not isinstance(monitor, MinMaxMonitor):
+        raise ConfigurationError("envelope_occupancy needs a min-max monitor")
+    _require_fitted(monitor)
+    reference_low = np.asarray(reference_low, dtype=np.float64).reshape(-1)
+    reference_high = np.asarray(reference_high, dtype=np.float64).reshape(-1)
+    if reference_low.shape != monitor.lower.shape:
+        raise ConfigurationError("reference range dimension does not match the monitor")
+    reference_width = np.maximum(reference_high - reference_low, 1e-12)
+    overlap_low = np.maximum(monitor.lower, reference_low)
+    overlap_high = np.minimum(monitor.upper, reference_high)
+    overlap = np.maximum(overlap_high - overlap_low, 0.0)
+    return float(np.mean(overlap / reference_width))
+
+
+def neuron_saturation(monitor: PatternMonitor) -> float:
+    """Fraction of monitored neurons whose code never varies in the stored set.
+
+    Computed from the stored words: a position whose code is identical in
+    every stored word cannot distinguish any two inputs, so a high saturation
+    means the monitor's warnings are driven by only a few neurons.
+    """
+    if not isinstance(monitor, (BooleanPatternMonitor, IntervalPatternMonitor)):
+        raise ConfigurationError("neuron_saturation needs a pattern monitor")
+    _require_fitted(monitor)
+    words = np.array(list(monitor.patterns.iterate_words(limit=4096)), dtype=np.int64)
+    if words.size == 0:
+        return 1.0
+    constant = np.all(words == words[0][None, :], axis=0)
+    return float(np.mean(constant))
+
+
+@dataclass
+class MonitorabilityReport:
+    """Summary of how much discriminative power a fitted monitor retains."""
+
+    coverage: float
+    saturation: float
+    pattern_count: int
+    bdd_nodes: int
+
+    @property
+    def monitorability(self) -> float:
+        """Figure of merit in ``[0, 1]``: high when coverage and saturation are low.
+
+        Defined as ``(1 − coverage) · (1 − saturation)``: a monitor that
+        covers the whole code space or whose neurons never vary scores 0.
+        """
+        return (1.0 - min(self.coverage, 1.0)) * (1.0 - min(self.saturation, 1.0))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "coverage": self.coverage,
+            "saturation": self.saturation,
+            "pattern_count": self.pattern_count,
+            "bdd_nodes": self.bdd_nodes,
+            "monitorability": self.monitorability,
+        }
+
+
+def monitorability_report(monitor: PatternMonitor) -> MonitorabilityReport:
+    """Compute the coverage/saturation report for a fitted pattern monitor."""
+    return MonitorabilityReport(
+        coverage=pattern_space_coverage(monitor),
+        saturation=neuron_saturation(monitor),
+        pattern_count=monitor.pattern_count(),
+        bdd_nodes=monitor.bdd_size(),
+    )

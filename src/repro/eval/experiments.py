@@ -1,0 +1,158 @@
+"""Experiment runners comparing standard and robust monitors.
+
+The central object is :class:`MonitorExperiment`: a frozen description of one
+workload — trained network, training inputs used to fit the monitors, an
+in-ODD evaluation set (nominal plus aleatory perturbation) and a dictionary
+of out-of-ODD scenario evaluation sets — together with the machinery to fit
+any number of monitors on it and score them side by side.
+
+This is the code path behind the E1/E2/E4/E9 benchmarks and the example
+scripts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..monitors.base import ActivationMonitor
+from ..monitors.builder import ClassConditionalMonitor, MonitorBuilder
+from ..nn.network import Sequential
+from .metrics import MonitorScore, reduction_factor, score_monitor
+from .reporting import format_rate, format_results_table
+
+__all__ = ["MonitorExperiment", "ExperimentResult", "compare_monitors"]
+
+MonitorLike = Union[ActivationMonitor, ClassConditionalMonitor]
+
+
+@dataclass
+class ExperimentResult:
+    """Scores of every monitor evaluated in one experiment."""
+
+    scores: Dict[str, MonitorScore] = field(default_factory=dict)
+
+    def score(self, name: str) -> MonitorScore:
+        try:
+            return self.scores[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"no monitor named '{name}' in the result") from exc
+
+    def false_positive_reduction(self, baseline: str, improved: str) -> float:
+        """Relative FP-rate reduction of ``improved`` over ``baseline``."""
+        return reduction_factor(
+            self.score(baseline).false_positive_rate,
+            self.score(improved).false_positive_rate,
+        )
+
+    def detection_rate_change(self, baseline: str, improved: str) -> float:
+        """Absolute change in mean detection rate (improved − baseline)."""
+        return (
+            self.score(improved).mean_detection_rate
+            - self.score(baseline).mean_detection_rate
+        )
+
+    def as_rows(self) -> Sequence[Dict[str, object]]:
+        rows = []
+        for name, score in self.scores.items():
+            row: Dict[str, object] = {
+                "monitor": name,
+                "false_positive_rate": format_rate(score.false_positive_rate),
+                "mean_detection_rate": format_rate(score.mean_detection_rate),
+            }
+            for scenario, rate in score.detection_rates.items():
+                row[f"detect[{scenario}]"] = format_rate(rate)
+            rows.append(row)
+        return rows
+
+    def format(self, title: Optional[str] = None) -> str:
+        rows = self.as_rows()
+        if not rows:
+            return "no monitors evaluated"
+        columns = list(rows[0].keys())
+        return format_results_table(rows, columns, title=title)
+
+
+@dataclass
+class MonitorExperiment:
+    """One workload on which monitors are fitted and scored.
+
+    Parameters
+    ----------
+    network:
+        The trained, frozen network.
+    fit_inputs:
+        Training inputs ``D_tr`` used to build every monitor's abstraction.
+    in_odd_inputs:
+        In-ODD evaluation inputs (nominal held-out data and/or data with
+        aleatory perturbation applied); warnings here are false positives.
+    out_of_odd_inputs:
+        Mapping from scenario name to out-of-ODD evaluation inputs; warnings
+        here are detections.
+    """
+
+    network: Sequential
+    fit_inputs: np.ndarray
+    in_odd_inputs: np.ndarray
+    out_of_odd_inputs: Mapping[str, np.ndarray]
+
+    def __post_init__(self) -> None:
+        self.fit_inputs = np.atleast_2d(np.asarray(self.fit_inputs, dtype=np.float64))
+        self.in_odd_inputs = np.atleast_2d(np.asarray(self.in_odd_inputs, dtype=np.float64))
+        if self.fit_inputs.shape[0] == 0 or self.in_odd_inputs.shape[0] == 0:
+            raise ShapeError("experiment needs non-empty fit and in-ODD sets")
+        if not self.out_of_odd_inputs:
+            raise ConfigurationError("experiment needs at least one out-of-ODD scenario")
+        self.out_of_odd_inputs = {
+            name: np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+            for name, inputs in self.out_of_odd_inputs.items()
+        }
+
+    # ------------------------------------------------------------------
+    def evaluate_monitor(self, name: str, monitor: MonitorLike) -> MonitorScore:
+        """Score one already-fitted monitor on the experiment's evaluation sets."""
+        in_odd_warnings = monitor.warn_batch(self.in_odd_inputs)
+        scenario_warnings = {
+            scenario: monitor.warn_batch(inputs)
+            for scenario, inputs in self.out_of_odd_inputs.items()
+        }
+        return score_monitor(name, in_odd_warnings, scenario_warnings)
+
+    def run(self, monitors: Mapping[str, MonitorLike]) -> ExperimentResult:
+        """Fit (if necessary) and score every monitor in ``monitors``."""
+        result = ExperimentResult()
+        for name, monitor in monitors.items():
+            if isinstance(monitor, ClassConditionalMonitor):
+                if not monitor.is_fitted:
+                    monitor.fit(self.network, self.fit_inputs)
+            elif isinstance(monitor, ActivationMonitor):
+                if not monitor.is_fitted:
+                    monitor.fit(self.fit_inputs)
+            else:
+                raise ConfigurationError(
+                    f"monitor '{name}' is neither an ActivationMonitor nor a "
+                    "ClassConditionalMonitor"
+                )
+            result.scores[name] = self.evaluate_monitor(name, monitor)
+        return result
+
+    def run_builders(self, builders: Mapping[str, MonitorBuilder]) -> ExperimentResult:
+        """Build, fit and score a monitor per builder specification."""
+        monitors = {
+            name: builder.build(self.network) for name, builder in builders.items()
+        }
+        return self.run(monitors)
+
+
+def compare_monitors(
+    experiment: MonitorExperiment,
+    standard: MonitorLike,
+    robust: MonitorLike,
+    standard_name: str = "standard",
+    robust_name: str = "robust",
+) -> ExperimentResult:
+    """Convenience wrapper scoring a standard/robust monitor pair."""
+    return experiment.run({standard_name: standard, robust_name: robust})

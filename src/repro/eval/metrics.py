@@ -1,0 +1,187 @@
+"""Evaluation metrics for monitor experiments.
+
+The paper reports two headline quantities:
+
+* **false-positive rate** — fraction of in-ODD inputs that raise a warning
+  (0.62% for the standard monitor, 0.125% for the robust monitor in the lab
+  deployment, an ~80% reduction);
+* **detection rate** — fraction of out-of-ODD inputs (dark, construction,
+  ice, ...) that raise a warning, which should stay roughly unchanged when
+  switching to the robust construction.
+
+This module computes these together with the usual derived quantities
+(precision/recall/F1 over the combined evaluation set, reduction factors,
+per-scenario detection tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = [
+    "false_positive_rate",
+    "detection_rate",
+    "reduction_factor",
+    "ConfusionCounts",
+    "confusion_counts",
+    "MonitorScore",
+    "score_monitor",
+]
+
+
+def _warning_rate(warnings: np.ndarray) -> float:
+    warnings = np.asarray(warnings, dtype=bool).reshape(-1)
+    if warnings.size == 0:
+        raise ShapeError("cannot compute a rate over zero samples")
+    return float(np.mean(warnings))
+
+
+def false_positive_rate(in_odd_warnings: np.ndarray) -> float:
+    """Fraction of in-ODD inputs that (wrongly) raised a warning."""
+    return _warning_rate(in_odd_warnings)
+
+
+def detection_rate(out_of_odd_warnings: np.ndarray) -> float:
+    """Fraction of out-of-ODD inputs that (correctly) raised a warning."""
+    return _warning_rate(out_of_odd_warnings)
+
+
+def reduction_factor(baseline_rate: float, improved_rate: float) -> float:
+    """Relative reduction ``(baseline - improved) / baseline``.
+
+    Returns 0.0 when the baseline is already zero (nothing to reduce), which
+    keeps sweep tables well-defined at the degenerate end.
+    """
+    if baseline_rate < 0 or improved_rate < 0:
+        raise ShapeError("rates must be non-negative")
+    if baseline_rate == 0.0:
+        return 0.0
+    return (baseline_rate - improved_rate) / baseline_rate
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Warning-vs-ground-truth confusion counts.
+
+    "Positive" means out-of-ODD (the event the monitor should detect).
+    """
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        precision, recall = self.precision, self.recall
+        if precision + recall == 0.0:
+            return 0.0
+        return 2.0 * precision * recall / (precision + recall)
+
+    @property
+    def accuracy(self) -> float:
+        return (self.true_positives + self.true_negatives) / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "true_negatives": self.true_negatives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "accuracy": self.accuracy,
+        }
+
+
+def confusion_counts(
+    in_odd_warnings: np.ndarray, out_of_odd_warnings: np.ndarray
+) -> ConfusionCounts:
+    """Confusion counts from warnings on in-ODD and out-of-ODD evaluation sets."""
+    in_odd = np.asarray(in_odd_warnings, dtype=bool).reshape(-1)
+    out_of_odd = np.asarray(out_of_odd_warnings, dtype=bool).reshape(-1)
+    if in_odd.size == 0 or out_of_odd.size == 0:
+        raise ShapeError("both evaluation sets must be non-empty")
+    return ConfusionCounts(
+        true_positives=int(out_of_odd.sum()),
+        false_negatives=int((~out_of_odd).sum()),
+        false_positives=int(in_odd.sum()),
+        true_negatives=int((~in_odd).sum()),
+    )
+
+
+@dataclass
+class MonitorScore:
+    """Aggregate score of one monitor on one workload."""
+
+    name: str
+    false_positive_rate: float
+    detection_rates: Dict[str, float]
+    confusion: ConfusionCounts
+
+    @property
+    def mean_detection_rate(self) -> float:
+        if not self.detection_rates:
+            return 0.0
+        return float(np.mean(list(self.detection_rates.values())))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "false_positive_rate": self.false_positive_rate,
+            "mean_detection_rate": self.mean_detection_rate,
+            "detection_rates": dict(self.detection_rates),
+            **{f"confusion_{k}": v for k, v in self.confusion.as_dict().items()},
+        }
+
+
+def score_monitor(
+    name: str,
+    in_odd_warnings: np.ndarray,
+    scenario_warnings: Mapping[str, np.ndarray],
+) -> MonitorScore:
+    """Build a :class:`MonitorScore` from raw warning vectors.
+
+    ``scenario_warnings`` maps each out-of-ODD scenario name to its warning
+    vector; the confusion counts pool every scenario together.
+    """
+    if not scenario_warnings:
+        raise ShapeError("score_monitor needs at least one out-of-ODD scenario")
+    detection = {
+        scenario: detection_rate(warnings)
+        for scenario, warnings in scenario_warnings.items()
+    }
+    pooled = np.concatenate(
+        [np.asarray(w, dtype=bool).reshape(-1) for w in scenario_warnings.values()]
+    )
+    return MonitorScore(
+        name=name,
+        false_positive_rate=false_positive_rate(in_odd_warnings),
+        detection_rates=detection,
+        confusion=confusion_counts(in_odd_warnings, pooled),
+    )

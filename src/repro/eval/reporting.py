@@ -1,0 +1,62 @@
+"""Plain-text table formatting for experiment output.
+
+Benchmarks print the same rows the paper reports (false-positive rates,
+per-scenario detection rates, reduction factors).  The formatter is
+dependency-free: fixed-width columns, rendered to a string so both pytest
+benchmarks and example scripts can reuse it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["format_table", "format_rate", "format_results_table"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_rate(value: Optional[float], digits: int = 3) -> str:
+    """Format a rate (0..1) as a percentage string, e.g. ``0.62%``."""
+    if value is None:
+        return "-"
+    return f"{100.0 * value:.{digits}f}%"
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width text table."""
+    formatted_rows: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_results_table(
+    results: Sequence[Mapping[str, Cell]],
+    columns: Sequence[str],
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dictionaries as a table with the chosen ``columns``."""
+    rows = [[result.get(column) for column in columns] for result in results]
+    return format_table(columns, rows, title=title)

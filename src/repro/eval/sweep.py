@@ -1,0 +1,154 @@
+"""Parameter sweeps over the robust-monitor construction knobs.
+
+The interesting axes are:
+
+* the perturbation budget ``Δ`` — larger budgets suppress more false
+  positives but eventually blunt detection;
+* the perturbation layer ``k_p`` — input-level vs. feature-level similarity;
+* the bound-propagation back-end — box vs. zonotope vs. star precision;
+* the number of bits (cut points) per neuron for interval monitors.
+
+Each sweep fits one monitor per parameter value on the same
+:class:`~repro.eval.experiments.MonitorExperiment` and returns a list of row
+dictionaries ready for :func:`~repro.eval.reporting.format_results_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..monitors.builder import MonitorBuilder
+from ..monitors.perturbation import PerturbationSpec
+from .experiments import MonitorExperiment
+from .reporting import format_rate
+
+__all__ = ["delta_sweep", "method_sweep", "bit_width_sweep", "layer_sweep"]
+
+
+def _row_from_score(score, **extra) -> Dict[str, object]:
+    row: Dict[str, object] = dict(extra)
+    row["false_positive_rate"] = score.false_positive_rate
+    row["false_positive_rate_pct"] = format_rate(score.false_positive_rate)
+    row["mean_detection_rate"] = score.mean_detection_rate
+    row["mean_detection_rate_pct"] = format_rate(score.mean_detection_rate)
+    for scenario, rate in score.detection_rates.items():
+        row[f"detect[{scenario}]"] = format_rate(rate)
+    return row
+
+
+def delta_sweep(
+    experiment: MonitorExperiment,
+    family: str,
+    layer_index: int,
+    deltas: Sequence[float],
+    perturbation_layer: int = 0,
+    method: str = "box",
+    **options,
+) -> List[Dict[str, object]]:
+    """Fit one robust monitor per Δ value (Δ = 0 is the standard monitor)."""
+    if not deltas:
+        raise ConfigurationError("delta_sweep needs at least one delta value")
+    rows = []
+    for delta in deltas:
+        if delta == 0.0:
+            builder = MonitorBuilder(family, layer_index, perturbation=None, **options)
+        else:
+            spec = PerturbationSpec(delta=delta, layer=perturbation_layer, method=method)
+            builder = MonitorBuilder(family, layer_index, perturbation=spec, **options)
+        monitor = builder.build_and_fit(experiment.network, experiment.fit_inputs)
+        score = experiment.evaluate_monitor(f"{family}-delta-{delta}", monitor)
+        rows.append(_row_from_score(score, delta=delta, family=family))
+    return rows
+
+
+def method_sweep(
+    experiment: MonitorExperiment,
+    family: str,
+    layer_index: int,
+    delta: float,
+    methods: Sequence[str] = ("box", "zonotope", "star"),
+    perturbation_layer: int = 0,
+    **options,
+) -> List[Dict[str, object]]:
+    """Fit one robust monitor per bound-propagation back-end."""
+    if delta <= 0:
+        raise ConfigurationError("method_sweep needs a strictly positive delta")
+    rows = []
+    for method in methods:
+        spec = PerturbationSpec(delta=delta, layer=perturbation_layer, method=method)
+        builder = MonitorBuilder(family, layer_index, perturbation=spec, **options)
+        monitor = builder.build_and_fit(experiment.network, experiment.fit_inputs)
+        score = experiment.evaluate_monitor(f"{family}-{method}", monitor)
+        rows.append(_row_from_score(score, method=method, delta=delta, family=family))
+    return rows
+
+
+def bit_width_sweep(
+    experiment: MonitorExperiment,
+    layer_index: int,
+    cut_counts: Sequence[int] = (1, 3, 7),
+    delta: Optional[float] = None,
+    perturbation_layer: int = 0,
+    method: str = "box",
+    cut_strategy: str = "percentile",
+) -> List[Dict[str, object]]:
+    """Fit interval monitors of increasing granularity (1, 2, 3 bits, ...).
+
+    ``cut_counts`` gives the number of cut points per neuron; the code width
+    is ``ceil(log2(cuts + 1))`` bits.  With ``delta`` set, robust monitors are
+    built; otherwise standard ones.
+    """
+    if not cut_counts:
+        raise ConfigurationError("bit_width_sweep needs at least one cut count")
+    rows = []
+    for num_cuts in cut_counts:
+        spec = (
+            PerturbationSpec(delta=delta, layer=perturbation_layer, method=method)
+            if delta
+            else None
+        )
+        builder = MonitorBuilder(
+            "interval",
+            layer_index,
+            perturbation=spec,
+            num_cuts=num_cuts,
+            cut_strategy=cut_strategy,
+        )
+        monitor = builder.build_and_fit(experiment.network, experiment.fit_inputs)
+        score = experiment.evaluate_monitor(f"interval-{num_cuts}cuts", monitor)
+        rows.append(
+            _row_from_score(
+                score,
+                num_cuts=num_cuts,
+                bits=monitor.bits_per_neuron,
+                robust=spec is not None,
+            )
+        )
+    return rows
+
+
+def layer_sweep(
+    experiment: MonitorExperiment,
+    family: str,
+    layer_indices: Sequence[int],
+    delta: float = 0.0,
+    perturbation_layer: int = 0,
+    method: str = "box",
+    **options,
+) -> List[Dict[str, object]]:
+    """Fit one monitor per monitored layer to study layer choice."""
+    if not layer_indices:
+        raise ConfigurationError("layer_sweep needs at least one layer index")
+    rows = []
+    for layer_index in layer_indices:
+        spec = (
+            PerturbationSpec(delta=delta, layer=perturbation_layer, method=method)
+            if delta
+            else None
+        )
+        builder = MonitorBuilder(family, layer_index, perturbation=spec, **options)
+        monitor = builder.build_and_fit(experiment.network, experiment.fit_inputs)
+        score = experiment.evaluate_monitor(f"{family}-layer-{layer_index}", monitor)
+        rows.append(_row_from_score(score, layer_index=layer_index, family=family))
+    return rows

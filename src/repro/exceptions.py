@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch every failure mode of the reproduction with a single ``except``
+clause while still being able to distinguish configuration problems from
+runtime/shape problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an object is constructed with inconsistent parameters.
+
+    Examples include a monitor configured with a perturbation layer that is
+    not strictly before the monitored layer, or interval thresholds that are
+    not strictly increasing.
+    """
+
+
+class ShapeError(ReproError):
+    """Raised when an array has a shape incompatible with the operation."""
+
+
+class LayerIndexError(ReproError):
+    """Raised when a layer index is outside the valid range of a network."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a monitor or model is used before it has been fitted."""
+
+
+class PropagationError(ReproError):
+    """Raised when symbolic bound propagation fails or is unsupported."""
+
+
+class SerializationError(ReproError):
+    """Raised when saving or loading an object fails."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset is malformed or a generator is misconfigured."""

@@ -1,0 +1,187 @@
+"""Common interface of all activation-pattern monitors.
+
+Every monitor observes the activation vector of a single network layer
+(optionally restricted to a subset of neurons), is fitted on the training
+data set and afterwards answers, for any operational input, whether the
+observed activation pattern lies outside the abstraction built from the
+training data (``warn = True``) or inside it (``warn = False``).
+
+The class hierarchy mirrors the paper:
+
+* :class:`ActivationMonitor` — shared plumbing (layer selection, feature
+  extraction, batched warnings, evaluation helpers);
+* concrete standard monitors (min-max, Boolean pattern, interval pattern)
+  fitted directly on feature vectors;
+* robust variants fitted on the perturbation estimates of Definition 1,
+  configured through a :class:`~repro.monitors.perturbation.PerturbationSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..nn.network import Sequential
+
+__all__ = ["MonitorVerdict", "ActivationMonitor"]
+
+
+@dataclass
+class MonitorVerdict:
+    """Detailed outcome of a monitor query for a single input.
+
+    ``warn`` is the paper's ``M(v_op) = true``; ``violations`` lists the
+    indices of monitored neurons whose value fell outside the abstraction
+    (empty for pattern monitors that only give a set-membership answer), and
+    ``details`` carries monitor-specific diagnostic values.
+    """
+
+    warn: bool
+    violations: Sequence[int] = field(default_factory=tuple)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.warn
+
+
+class ActivationMonitor:
+    """Base class for monitors over a single monitored layer.
+
+    Parameters
+    ----------
+    network:
+        The trained, frozen network ``G``.
+    layer_index:
+        The monitored layer ``k`` (1-based, as in the paper).
+    neuron_indices:
+        Optional subset of neuron indices of layer ``k`` to monitor; ``None``
+        monitors every neuron in the layer.
+    """
+
+    #: Human-readable monitor family name, overridden by subclasses.
+    kind = "activation"
+
+    def __init__(
+        self,
+        network: Sequential,
+        layer_index: int,
+        neuron_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not 1 <= layer_index <= network.num_layers:
+            raise ConfigurationError(
+                f"monitored layer {layer_index} outside the network's "
+                f"[1, {network.num_layers}] range"
+            )
+        self.network = network
+        self.layer_index = int(layer_index)
+        layer_width = network.layer_output_dim(self.layer_index)
+        if neuron_indices is None:
+            self.neuron_indices = np.arange(layer_width)
+        else:
+            indices = np.asarray(sorted(set(int(i) for i in neuron_indices)), dtype=np.int64)
+            if indices.size == 0:
+                raise ConfigurationError("neuron_indices must not be empty")
+            if indices.min() < 0 or indices.max() >= layer_width:
+                raise ConfigurationError(
+                    f"neuron indices must lie in [0, {layer_width})"
+                )
+            self.neuron_indices = indices
+        self._fitted = False
+        self._num_training_samples = 0
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    @property
+    def num_monitored_neurons(self) -> int:
+        return int(self.neuron_indices.shape[0])
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    @property
+    def num_training_samples(self) -> int:
+        """Number of training samples the abstraction was built from."""
+        return self._num_training_samples
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{self.__class__.__name__} must be fitted before use"
+            )
+
+    def features(self, inputs: np.ndarray) -> np.ndarray:
+        """Monitored-layer feature vectors of ``inputs`` (always 2-D).
+
+        Rows are evaluated one at a time so that fit-time (batched data set)
+        and operation-time (single input) evaluations are bit-identical;
+        batched matrix products may otherwise differ in the last float and
+        flip a value sitting exactly on a threshold or envelope boundary.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if inputs.shape[0] == 0:
+            return np.zeros((0, self.num_monitored_neurons))
+        rows = [
+            np.atleast_1d(self.network.forward_to(self.layer_index, row))
+            for row in inputs
+        ]
+        features = np.vstack(rows)
+        return features[:, self.neuron_indices]
+
+    def _select(self, low: np.ndarray, high: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Restrict per-neuron bounds to the monitored neuron subset."""
+        return low[self.neuron_indices], high[self.neuron_indices]
+
+    # ------------------------------------------------------------------
+    # API to be implemented by subclasses
+    # ------------------------------------------------------------------
+    def fit(self, training_inputs: np.ndarray) -> "ActivationMonitor":
+        """Build the abstraction from the training data set ``D_tr``."""
+        raise NotImplementedError
+
+    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
+        """Full verdict (warning flag + diagnostics) for one input."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # convenience wrappers
+    # ------------------------------------------------------------------
+    def warn(self, input_vector: np.ndarray) -> bool:
+        """The paper's ``M(v_op)``: True when the input looks out-of-ODD."""
+        return self.verdict(input_vector).warn
+
+    def warn_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Vector of warning flags for every row of ``inputs``."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        return np.array([self.warn(row) for row in inputs], dtype=bool)
+
+    def warning_rate(self, inputs: np.ndarray) -> float:
+        """Fraction of inputs that trigger a warning.
+
+        On in-distribution data this is the false-positive rate; on
+        out-of-ODD data it is the detection rate.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if inputs.shape[0] == 0:
+            raise ShapeError("warning_rate needs at least one input")
+        return float(np.mean(self.warn_batch(inputs)))
+
+    def describe(self) -> Dict[str, object]:
+        """Human-readable summary of the monitor configuration and state."""
+        return {
+            "kind": self.kind,
+            "layer_index": self.layer_index,
+            "num_monitored_neurons": self.num_monitored_neurons,
+            "fitted": self._fitted,
+            "num_training_samples": self._num_training_samples,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.__class__.__name__}(layer={self.layer_index}, "
+            f"neurons={self.num_monitored_neurons}, fitted={self._fitted})"
+        )

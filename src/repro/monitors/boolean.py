@@ -1,0 +1,231 @@
+"""Boolean on/off activation-pattern monitors (standard and robust).
+
+The standard monitor (Cheng et al., DATE 2019) abstracts the monitored-layer
+feature vector into a Boolean word — bit ``j`` is 1 when neuron ``j`` exceeds
+its threshold ``c_j`` — and stores the set of words visited by the training
+data in a BDD.  An operational input warns when its word is not in the set.
+
+The robust variant applies the abstraction to the perturbation estimate
+``[l_j, u_j]`` instead of the concrete value: bit ``j`` becomes 1 when
+``l_j > c_j``, 0 when ``u_j ≤ c_j`` and the *don't-care* symbol otherwise.
+The ternary word is expanded into the set of all compatible binary words via
+``word2set``, which the BDD represents with a cube over the constrained bits
+only (no exponential blow-up).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..nn.network import Sequential
+from ..bdd.patterns import DONT_CARE, PatternSet
+from .base import ActivationMonitor, MonitorVerdict
+from .perturbation import PerturbationSpec, perturbation_estimates
+from .thresholds import get_threshold_strategy, validate_cut_points
+
+__all__ = ["BooleanPatternMonitor", "RobustBooleanPatternMonitor"]
+
+
+class BooleanPatternMonitor(ActivationMonitor):
+    """Standard on/off activation-pattern monitor backed by a BDD.
+
+    Parameters
+    ----------
+    thresholds:
+        Either a per-neuron array of constants ``c_j``, or the name of a
+        threshold strategy (``"zero"``, ``"mean"``, ``"percentile"``, ...)
+        evaluated on the training activations during :meth:`fit`.
+    hamming_tolerance:
+        Accept operational words within this Hamming distance of a stored
+        word (the enlargement knob of the original DATE'19 monitor); the
+        default 0 is exact membership.
+    """
+
+    kind = "boolean_pattern"
+
+    def __init__(
+        self,
+        network: Sequential,
+        layer_index: int,
+        thresholds: Union[str, np.ndarray] = "zero",
+        neuron_indices: Optional[Sequence[int]] = None,
+        hamming_tolerance: int = 0,
+    ) -> None:
+        super().__init__(network, layer_index, neuron_indices)
+        if hamming_tolerance < 0:
+            raise ConfigurationError("hamming_tolerance must be non-negative")
+        self.hamming_tolerance = int(hamming_tolerance)
+        self._threshold_spec = thresholds
+        self.thresholds: Optional[np.ndarray] = None
+        self.patterns: Optional[PatternSet] = None
+
+    # ------------------------------------------------------------------
+    def _resolve_thresholds(self, activations: np.ndarray) -> np.ndarray:
+        if isinstance(self._threshold_spec, str):
+            strategy = get_threshold_strategy(self._threshold_spec)
+            cuts = strategy(activations, 1)
+            return cuts[:, 0]
+        thresholds = np.asarray(self._threshold_spec, dtype=np.float64).reshape(-1)
+        if thresholds.shape[0] != self.num_monitored_neurons:
+            raise ShapeError(
+                f"expected {self.num_monitored_neurons} thresholds, got "
+                f"{thresholds.shape[0]}"
+            )
+        return thresholds
+
+    def _word(self, feature: np.ndarray) -> List[int]:
+        """The abstraction ``ab``: bit ``j`` = 1 iff ``v_j > c_j``."""
+        return [int(value > cut) for value, cut in zip(feature, self.thresholds)]
+
+    # ------------------------------------------------------------------
+    def fit(self, training_inputs: np.ndarray) -> "BooleanPatternMonitor":
+        features = self.features(training_inputs)
+        if features.shape[0] == 0:
+            raise ShapeError("fit() needs at least one training input")
+        self.thresholds = self._resolve_thresholds(features)
+        self.patterns = PatternSet(self.num_monitored_neurons, bits_per_position=1)
+        for row in features:
+            self.patterns.add_word(self._word(row))
+        self._fitted = True
+        self._num_training_samples = int(features.shape[0])
+        return self
+
+    def update(self, inputs: np.ndarray) -> "BooleanPatternMonitor":
+        """Fold additional data (e.g. a validation set) into the pattern set."""
+        self._require_fitted()
+        for row in self.features(inputs):
+            self.patterns.add_word(self._word(row))
+            self._num_training_samples += 1
+        return self
+
+    # ------------------------------------------------------------------
+    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
+        self._require_fitted()
+        feature = self.features(input_vector)[0]
+        word = self._word(feature)
+        if self.hamming_tolerance > 0:
+            known = self.patterns.contains_within_hamming(word, self.hamming_tolerance)
+        else:
+            known = self.patterns.contains(word)
+        return MonitorVerdict(
+            warn=not known,
+            details={
+                "word": tuple(word),
+                "hamming_tolerance": self.hamming_tolerance,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def pattern_count(self) -> int:
+        """Number of distinct activation words in the abstraction."""
+        self._require_fitted()
+        return self.patterns.cardinality()
+
+    def bdd_size(self) -> int:
+        """Number of BDD nodes storing the abstraction."""
+        self._require_fitted()
+        return self.patterns.dag_size()
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["hamming_tolerance"] = self.hamming_tolerance
+        if self._fitted:
+            info["pattern_count"] = self.pattern_count()
+            info["bdd_size"] = self.bdd_size()
+        return info
+
+
+class RobustBooleanPatternMonitor(BooleanPatternMonitor):
+    """Robust on/off pattern monitor ``M_{⟨G, k, k_p, Δ⟩}`` (Section III-B).
+
+    The abstraction function ``ab_R`` maps each neuron's perturbation-estimate
+    bound to 1 / 0 / don't-care; the resulting ternary word is inserted via
+    ``word2set``.
+    """
+
+    kind = "robust_boolean_pattern"
+
+    def __init__(
+        self,
+        network: Sequential,
+        layer_index: int,
+        perturbation: PerturbationSpec,
+        thresholds: Union[str, np.ndarray] = "zero",
+        neuron_indices: Optional[Sequence[int]] = None,
+        hamming_tolerance: int = 0,
+    ) -> None:
+        super().__init__(
+            network,
+            layer_index,
+            thresholds=thresholds,
+            neuron_indices=neuron_indices,
+            hamming_tolerance=hamming_tolerance,
+        )
+        if perturbation.layer >= layer_index:
+            raise ConfigurationError(
+                "perturbation layer k_p must be strictly before the monitored layer"
+            )
+        self.perturbation = perturbation
+        self._dont_care_count = 0
+
+    def _ternary_word(self, low: np.ndarray, high: np.ndarray) -> List[object]:
+        """The robust abstraction ``ab_R`` producing 0 / 1 / don't-care."""
+        word: List[object] = []
+        for l, u, cut in zip(low, high, self.thresholds):
+            if l > cut:
+                word.append(1)
+            elif u <= cut:
+                word.append(0)
+            else:
+                word.append(DONT_CARE)
+        return word
+
+    def fit(self, training_inputs: np.ndarray) -> "RobustBooleanPatternMonitor":
+        training_inputs = np.atleast_2d(np.asarray(training_inputs, dtype=np.float64))
+        if training_inputs.shape[0] == 0:
+            raise ShapeError("fit() needs at least one training input")
+        features = self.features(training_inputs)
+        self.thresholds = self._resolve_thresholds(features)
+        self.patterns = PatternSet(self.num_monitored_neurons, bits_per_position=1)
+        self._dont_care_count = 0
+        for estimate in perturbation_estimates(
+            self.network, training_inputs, self.layer_index, self.perturbation
+        ):
+            low, high = self._select(estimate.low, estimate.high)
+            word = self._ternary_word(low, high)
+            self._dont_care_count += sum(1 for symbol in word if symbol == DONT_CARE)
+            self.patterns.add_ternary_word(word)
+        self._fitted = True
+        self._num_training_samples = int(training_inputs.shape[0])
+        return self
+
+    def update(self, inputs: np.ndarray) -> "RobustBooleanPatternMonitor":
+        self._require_fitted()
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        for estimate in perturbation_estimates(
+            self.network, inputs, self.layer_index, self.perturbation
+        ):
+            low, high = self._select(estimate.low, estimate.high)
+            word = self._ternary_word(low, high)
+            self._dont_care_count += sum(1 for symbol in word if symbol == DONT_CARE)
+            self.patterns.add_ternary_word(word)
+            self._num_training_samples += 1
+        return self
+
+    @property
+    def dont_care_fraction(self) -> float:
+        """Average fraction of don't-care bits per inserted ternary word."""
+        if self._num_training_samples == 0:
+            raise NotFittedError("monitor has not been fitted")
+        total_bits = self._num_training_samples * self.num_monitored_neurons
+        return self._dont_care_count / total_bits
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["perturbation"] = self.perturbation.describe()
+        if self._fitted:
+            info["dont_care_fraction"] = self.dont_care_fraction
+        return info

@@ -1,0 +1,184 @@
+"""Interval-code encodings used by pattern monitors.
+
+Two families of encodings are provided.
+
+**General encoding** (used by the monitors for any bit width): per neuron, an
+increasing sequence of cut points ``c_1 < ... < c_m`` splits the real line
+into ``m + 1`` half-open intervals
+
+    I_0 = (−∞, c_1],  I_1 = (c_1, c_2],  ...,  I_m = (c_m, ∞)
+
+and the code of a value is the index of the interval containing it, i.e. the
+number of cut points strictly below the value.  The code is monotone
+non-decreasing in the value, so the set of codes reachable by any value in a
+bound ``[l, u]`` is exactly the contiguous range ``code(l) .. code(u)`` — the
+observation that makes the robust interval abstraction of Section III-C cheap
+to compute and guarantees it covers the standard code of every value inside
+the bound.
+
+**Paper 2-bit encoding** (Figure 1 reproduction): the paper's Section III-C
+uses slightly different boundary conventions (``bj = 10`` for
+``c_3 ≥ v ≥ c_2`` etc.); :func:`paper_code_2bit` and
+:func:`paper_robust_code_set_2bit` implement that exact ten-case table so the
+E3 benchmark can reproduce Figure 1 literally.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+
+__all__ = [
+    "code_of_value",
+    "codes_of_values",
+    "code_range_of_bound",
+    "code_sets_of_bounds",
+    "num_codes",
+    "bits_for_cuts",
+    "paper_code_2bit",
+    "paper_robust_code_set_2bit",
+]
+
+
+def _validate_cuts(cut_points: np.ndarray) -> np.ndarray:
+    cut_points = np.asarray(cut_points, dtype=np.float64)
+    if cut_points.ndim == 1:
+        cut_points = cut_points[None, :]
+    if cut_points.shape[1] >= 2 and not np.all(np.diff(cut_points, axis=1) > 0):
+        raise ConfigurationError("cut points must be strictly increasing per neuron")
+    return cut_points
+
+
+def num_codes(num_cuts: int) -> int:
+    """Number of interval codes produced by ``num_cuts`` cut points."""
+    if num_cuts < 1:
+        raise ConfigurationError("at least one cut point is required")
+    return num_cuts + 1
+
+
+def bits_for_cuts(num_cuts: int) -> int:
+    """Number of bits needed to store a code over ``num_cuts`` cut points."""
+    return max(1, int(np.ceil(np.log2(num_codes(num_cuts)))))
+
+
+def code_of_value(value: float, cuts: Sequence[float]) -> int:
+    """Interval code of a scalar ``value`` for one neuron's cut points."""
+    cuts = np.asarray(cuts, dtype=np.float64)
+    return int(np.sum(value > cuts))
+
+
+def codes_of_values(values: np.ndarray, cut_points: np.ndarray) -> np.ndarray:
+    """Vectorised interval codes.
+
+    ``values`` has shape ``(num_neurons,)`` or ``(batch, num_neurons)``;
+    ``cut_points`` has shape ``(num_neurons, num_cuts)``.  The result has the
+    same leading shape as ``values`` with integer codes.
+    """
+    cut_points = _validate_cuts(cut_points)
+    values = np.asarray(values, dtype=np.float64)
+    squeeze = values.ndim == 1
+    values_2d = np.atleast_2d(values)
+    if values_2d.shape[1] != cut_points.shape[0]:
+        raise ShapeError(
+            f"values have {values_2d.shape[1]} neurons but cut_points describe "
+            f"{cut_points.shape[0]}"
+        )
+    codes = (values_2d[:, :, None] > cut_points[None, :, :]).sum(axis=2)
+    codes = codes.astype(np.int64)
+    return codes[0] if squeeze else codes
+
+
+def code_range_of_bound(
+    low: float, high: float, cuts: Sequence[float]
+) -> Tuple[int, int]:
+    """Lowest and highest code reachable by any value in ``[low, high]``."""
+    if high < low:
+        raise ShapeError("bound upper end below lower end")
+    return code_of_value(low, cuts), code_of_value(high, cuts)
+
+
+def code_sets_of_bounds(
+    low: np.ndarray, high: np.ndarray, cut_points: np.ndarray
+) -> List[FrozenSet[int]]:
+    """Per-neuron sets of codes reachable inside the bounds ``[low, high]``.
+
+    Because the code function is monotone, each set is the contiguous range
+    between the code of the lower and the code of the upper bound; this is the
+    robust abstraction function ``ab_R`` of Section III-C for arbitrary bit
+    widths.
+    """
+    cut_points = _validate_cuts(cut_points)
+    low = np.asarray(low, dtype=np.float64).reshape(-1)
+    high = np.asarray(high, dtype=np.float64).reshape(-1)
+    if low.shape[0] != cut_points.shape[0] or high.shape[0] != cut_points.shape[0]:
+        raise ShapeError("bounds and cut points disagree on the number of neurons")
+    low_codes = codes_of_values(low, cut_points)
+    high_codes = codes_of_values(high, cut_points)
+    return [
+        frozenset(range(int(lo), int(hi) + 1))
+        for lo, hi in zip(low_codes, high_codes)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Paper Figure 1: the exact 2-bit case table
+# ----------------------------------------------------------------------
+def _check_three_cuts(c1: float, c2: float, c3: float) -> None:
+    if not c1 < c2 < c3:
+        raise ConfigurationError("the 2-bit encoding requires c1 < c2 < c3")
+
+
+def paper_code_2bit(value: float, c1: float, c2: float, c3: float) -> int:
+    """Standard 2-bit code of Section III-C (codes 0b00..0b11 as integers).
+
+    * ``11`` (3) if ``v > c3``
+    * ``10`` (2) if ``c3 ≥ v ≥ c2``
+    * ``01`` (1) if ``c2 > v > c1``
+    * ``00`` (0) otherwise (``v ≤ c1``)
+    """
+    _check_three_cuts(c1, c2, c3)
+    if value > c3:
+        return 3
+    if c3 >= value >= c2:
+        return 2
+    if c2 > value > c1:
+        return 1
+    return 0
+
+
+def paper_robust_code_set_2bit(
+    low: float, high: float, c1: float, c2: float, c3: float
+) -> FrozenSet[int]:
+    """Robust 2-bit code set of Section III-C — the paper's ten-case table.
+
+    Given a sound neuron bound ``[low, high]`` and cut points
+    ``c1 < c2 < c3``, return the set of 2-bit codes the monitor must admit.
+    The cases are transcribed literally from the paper; the final catch-all
+    returns the full code set ``{00, 01, 10, 11}``.
+    """
+    _check_three_cuts(c1, c2, c3)
+    if high < low:
+        raise ShapeError("bound upper end below lower end")
+    l, u = low, high
+    if l > c3:
+        return frozenset({3})
+    if c3 >= u >= l >= c2:
+        return frozenset({2})
+    if c2 > u >= l > c1:
+        return frozenset({1})
+    if c1 >= u:
+        return frozenset({0})
+    if c2 > u > c1 and c1 >= l:
+        return frozenset({0, 1})
+    if c3 >= u >= c2 and c2 > l > c1:
+        return frozenset({1, 2})
+    if u > c3 and c3 >= l >= c2:
+        return frozenset({2, 3})
+    if c1 >= l and c3 >= u >= c2:
+        return frozenset({0, 1, 2})
+    if u > c3 and c2 > l > c1:
+        return frozenset({1, 2, 3})
+    return frozenset({0, 1, 2, 3})

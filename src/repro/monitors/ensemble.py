@@ -1,0 +1,103 @@
+"""Combining several monitors into one decision.
+
+The paper notes that extending the simplistic single-layer setup to
+multi-layer monitoring is straightforward; :class:`MonitorEnsemble` provides
+that extension.  Member monitors (typically the same family applied to
+different layers, or different families on the same layer) are fitted
+together and their warnings combined with a configurable voting rule:
+
+* ``"any"`` — warn when at least one member warns (highest detection rate);
+* ``"all"`` — warn only when every member warns (lowest false-positive rate);
+* ``"majority"`` — warn when more than half of the members warn;
+* an integer ``k`` — warn when at least ``k`` members warn.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from .base import ActivationMonitor, MonitorVerdict
+
+__all__ = ["MonitorEnsemble"]
+
+
+class MonitorEnsemble:
+    """Combine the verdicts of several fitted or unfitted monitors."""
+
+    def __init__(
+        self,
+        monitors: Sequence[ActivationMonitor],
+        vote: Union[str, int] = "any",
+    ) -> None:
+        if not monitors:
+            raise ConfigurationError("an ensemble needs at least one monitor")
+        self.monitors: List[ActivationMonitor] = list(monitors)
+        self.vote = vote
+        self._threshold = self._resolve_threshold(vote, len(self.monitors))
+
+    @staticmethod
+    def _resolve_threshold(vote: Union[str, int], count: int) -> int:
+        if isinstance(vote, int):
+            if not 1 <= vote <= count:
+                raise ConfigurationError(
+                    f"vote threshold {vote} outside [1, {count}]"
+                )
+            return vote
+        if vote == "any":
+            return 1
+        if vote == "all":
+            return count
+        if vote == "majority":
+            return count // 2 + 1
+        raise ConfigurationError(
+            f"unknown vote rule '{vote}'; use 'any', 'all', 'majority' or an integer"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return all(monitor.is_fitted for monitor in self.monitors)
+
+    def fit(self, training_inputs: np.ndarray) -> "MonitorEnsemble":
+        """Fit every member monitor on the same training data."""
+        for monitor in self.monitors:
+            monitor.fit(training_inputs)
+        return self
+
+    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
+        member_verdicts = [monitor.verdict(input_vector) for monitor in self.monitors]
+        votes = sum(1 for verdict in member_verdicts if verdict.warn)
+        return MonitorVerdict(
+            warn=votes >= self._threshold,
+            details={
+                "votes": votes,
+                "threshold": self._threshold,
+                "member_warnings": tuple(v.warn for v in member_verdicts),
+            },
+        )
+
+    def warn(self, input_vector: np.ndarray) -> bool:
+        return self.verdict(input_vector).warn
+
+    def warn_batch(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        return np.array([self.warn(row) for row in inputs], dtype=bool)
+
+    def warning_rate(self, inputs: np.ndarray) -> float:
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        if inputs.shape[0] == 0:
+            raise ShapeError("warning_rate needs at least one input")
+        return float(np.mean(self.warn_batch(inputs)))
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "vote": self.vote,
+            "threshold": self._threshold,
+            "members": [monitor.describe() for monitor in self.monitors],
+        }
+
+    def __len__(self) -> int:
+        return len(self.monitors)

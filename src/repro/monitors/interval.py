@@ -1,0 +1,226 @@
+"""Interval (multi-bit) activation-pattern monitors (Section III-C).
+
+Instead of a single on/off bit per neuron, the interval monitor encodes which
+of several value intervals — delimited by per-neuron cut points
+``c_j1 < c_j2 < ...`` — the neuron value falls into.  With ``m`` cut points
+the code needs ``ceil(log2(m+1))`` bits; the paper's exposition uses 2 bits
+(3 cut points), and the footnote observes that the scheme strictly
+generalises both the min-max monitor and the on/off monitor.
+
+The robust variant maps each neuron's perturbation-estimate bound
+``[l_j, u_j]`` to the *set* of codes reachable by any value inside the bound
+(a contiguous code range, thanks to monotonicity of the encoding); the
+per-neuron code sets are inserted via the BDD ``word2set`` so the stored set
+is the Cartesian product without enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from ..nn.network import Sequential
+from ..bdd.patterns import PatternSet
+from .base import ActivationMonitor, MonitorVerdict
+from .encoding import bits_for_cuts, code_sets_of_bounds, codes_of_values
+from .perturbation import PerturbationSpec, perturbation_estimates
+from .thresholds import get_threshold_strategy, validate_cut_points
+
+__all__ = ["IntervalPatternMonitor", "RobustIntervalPatternMonitor"]
+
+
+class IntervalPatternMonitor(ActivationMonitor):
+    """Standard multi-bit interval activation monitor.
+
+    Parameters
+    ----------
+    num_cuts:
+        Number of cut points per neuron (``num_cuts + 1`` interval codes,
+        ``3`` reproduces the paper's 2-bit setup).
+    cut_strategy:
+        Name of the threshold strategy used to place the cut points when an
+        explicit ``cut_points`` array is not given.
+    cut_points:
+        Optional explicit array of shape ``(num_monitored_neurons, num_cuts)``.
+    """
+
+    kind = "interval_pattern"
+
+    def __init__(
+        self,
+        network: Sequential,
+        layer_index: int,
+        num_cuts: int = 3,
+        cut_strategy: str = "percentile",
+        cut_points: Optional[np.ndarray] = None,
+        neuron_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(network, layer_index, neuron_indices)
+        if num_cuts < 1:
+            raise ConfigurationError("num_cuts must be at least 1")
+        self.num_cuts = int(num_cuts)
+        self.cut_strategy = cut_strategy
+        self._explicit_cut_points = cut_points
+        self.cut_points: Optional[np.ndarray] = None
+        self.patterns: Optional[PatternSet] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def bits_per_neuron(self) -> int:
+        """Bits used to encode one neuron's interval code."""
+        return bits_for_cuts(self.num_cuts)
+
+    def _resolve_cut_points(self, activations: np.ndarray) -> np.ndarray:
+        if self._explicit_cut_points is not None:
+            cuts = validate_cut_points(np.asarray(self._explicit_cut_points, dtype=np.float64))
+            if cuts.shape != (self.num_monitored_neurons, self.num_cuts):
+                raise ShapeError(
+                    f"cut_points must have shape "
+                    f"({self.num_monitored_neurons}, {self.num_cuts}), got {cuts.shape}"
+                )
+            return cuts
+        strategy = get_threshold_strategy(self.cut_strategy)
+        return validate_cut_points(strategy(activations, self.num_cuts))
+
+    def _codes(self, feature: np.ndarray) -> List[int]:
+        return [int(code) for code in codes_of_values(feature, self.cut_points)]
+
+    # ------------------------------------------------------------------
+    def fit(self, training_inputs: np.ndarray) -> "IntervalPatternMonitor":
+        features = self.features(training_inputs)
+        if features.shape[0] == 0:
+            raise ShapeError("fit() needs at least one training input")
+        self.cut_points = self._resolve_cut_points(features)
+        self.patterns = PatternSet(
+            self.num_monitored_neurons, bits_per_position=self.bits_per_neuron
+        )
+        for row in features:
+            self.patterns.add_word(self._codes(row))
+        self._fitted = True
+        self._num_training_samples = int(features.shape[0])
+        return self
+
+    def update(self, inputs: np.ndarray) -> "IntervalPatternMonitor":
+        """Fold additional data into the stored pattern set."""
+        self._require_fitted()
+        for row in self.features(inputs):
+            self.patterns.add_word(self._codes(row))
+            self._num_training_samples += 1
+        return self
+
+    # ------------------------------------------------------------------
+    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
+        self._require_fitted()
+        feature = self.features(input_vector)[0]
+        codes = self._codes(feature)
+        known = self.patterns.contains(codes)
+        return MonitorVerdict(
+            warn=not known,
+            details={"codes": tuple(codes), "bits_per_neuron": self.bits_per_neuron},
+        )
+
+    def pattern_count(self) -> int:
+        """Number of distinct code words in the abstraction."""
+        self._require_fitted()
+        return self.patterns.cardinality()
+
+    def bdd_size(self) -> int:
+        """Number of BDD nodes storing the abstraction."""
+        self._require_fitted()
+        return self.patterns.dag_size()
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["num_cuts"] = self.num_cuts
+        info["bits_per_neuron"] = self.bits_per_neuron
+        info["cut_strategy"] = self.cut_strategy
+        if self._fitted:
+            info["pattern_count"] = self.pattern_count()
+            info["bdd_size"] = self.bdd_size()
+        return info
+
+
+class RobustIntervalPatternMonitor(IntervalPatternMonitor):
+    """Robust multi-bit interval monitor (Section III-C, Figure 1).
+
+    Each training input contributes the Cartesian product of its per-neuron
+    admissible code sets — the codes reachable by any value inside the
+    perturbation-estimate bound ``[l_j, u_j]``.
+    """
+
+    kind = "robust_interval_pattern"
+
+    def __init__(
+        self,
+        network: Sequential,
+        layer_index: int,
+        perturbation: PerturbationSpec,
+        num_cuts: int = 3,
+        cut_strategy: str = "percentile",
+        cut_points: Optional[np.ndarray] = None,
+        neuron_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(
+            network,
+            layer_index,
+            num_cuts=num_cuts,
+            cut_strategy=cut_strategy,
+            cut_points=cut_points,
+            neuron_indices=neuron_indices,
+        )
+        if perturbation.layer >= layer_index:
+            raise ConfigurationError(
+                "perturbation layer k_p must be strictly before the monitored layer"
+            )
+        self.perturbation = perturbation
+        self._ambiguous_positions = 0
+
+    def fit(self, training_inputs: np.ndarray) -> "RobustIntervalPatternMonitor":
+        training_inputs = np.atleast_2d(np.asarray(training_inputs, dtype=np.float64))
+        if training_inputs.shape[0] == 0:
+            raise ShapeError("fit() needs at least one training input")
+        features = self.features(training_inputs)
+        self.cut_points = self._resolve_cut_points(features)
+        self.patterns = PatternSet(
+            self.num_monitored_neurons, bits_per_position=self.bits_per_neuron
+        )
+        self._ambiguous_positions = 0
+        for estimate in perturbation_estimates(
+            self.network, training_inputs, self.layer_index, self.perturbation
+        ):
+            low, high = self._select(estimate.low, estimate.high)
+            code_sets = code_sets_of_bounds(low, high, self.cut_points)
+            self._ambiguous_positions += sum(1 for s in code_sets if len(s) > 1)
+            self.patterns.add_code_sets(code_sets)
+        self._fitted = True
+        self._num_training_samples = int(training_inputs.shape[0])
+        return self
+
+    def update(self, inputs: np.ndarray) -> "RobustIntervalPatternMonitor":
+        self._require_fitted()
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        for estimate in perturbation_estimates(
+            self.network, inputs, self.layer_index, self.perturbation
+        ):
+            low, high = self._select(estimate.low, estimate.high)
+            code_sets = code_sets_of_bounds(low, high, self.cut_points)
+            self._ambiguous_positions += sum(1 for s in code_sets if len(s) > 1)
+            self.patterns.add_code_sets(code_sets)
+            self._num_training_samples += 1
+        return self
+
+    @property
+    def ambiguous_position_fraction(self) -> float:
+        """Average fraction of neurons per sample whose code was ambiguous."""
+        self._require_fitted()
+        total = self._num_training_samples * self.num_monitored_neurons
+        return self._ambiguous_positions / total
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["perturbation"] = self.perturbation.describe()
+        if self._fitted:
+            info["ambiguous_position_fraction"] = self.ambiguous_position_fraction
+        return info

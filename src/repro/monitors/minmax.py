@@ -1,0 +1,185 @@
+"""Min-max (value envelope) monitors — standard and robust variants.
+
+The min-max monitor of Henzinger et al. ("outside the box") keeps, for every
+monitored neuron ``j``, the minimum ``L_j`` and maximum ``U_j`` value visited
+across the training data set and warns whenever an operational input produces
+a neuron value outside ``[L_j, U_j]``.
+
+The robust variant of the paper replaces each visited value with the
+perturbation estimate ``[l_j, u_j]`` of Definition 1 and joins those bounds,
+so the envelope already accounts for every Δ-bounded perturbation at layer
+``k_p``; Lemma 1's guarantee follows directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..nn.network import Sequential
+from ..symbolic.interval import Box
+from .base import ActivationMonitor, MonitorVerdict
+from .perturbation import PerturbationSpec, perturbation_estimates
+
+__all__ = ["MinMaxMonitor", "RobustMinMaxMonitor"]
+
+
+class MinMaxMonitor(ActivationMonitor):
+    """Standard per-neuron ``[L_j, U_j]`` envelope monitor.
+
+    Parameters
+    ----------
+    enlargement:
+        Optional fractional enlargement of the envelope (e.g. ``0.05`` widens
+        each neuron's interval by 5% of its width on both sides).  This is the
+        classic, *non-robust* false-positive mitigation the paper argues is
+        insufficient; it is provided so experiments can compare against it.
+    """
+
+    kind = "minmax"
+
+    def __init__(
+        self,
+        network: Sequential,
+        layer_index: int,
+        neuron_indices: Optional[Sequence[int]] = None,
+        enlargement: float = 0.0,
+    ) -> None:
+        super().__init__(network, layer_index, neuron_indices)
+        if enlargement < 0:
+            raise ConfigurationError("enlargement must be non-negative")
+        self.enlargement = float(enlargement)
+        self.lower: Optional[np.ndarray] = None
+        self.upper: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, training_inputs: np.ndarray) -> "MinMaxMonitor":
+        """Initialise ``(L_j, U_j) = (∞, −∞)`` and fold in every sample."""
+        features = self.features(training_inputs)
+        if features.shape[0] == 0:
+            raise ShapeError("fit() needs at least one training input")
+        self.lower = features.min(axis=0)
+        self.upper = features.max(axis=0)
+        if self.enlargement > 0:
+            width = self.upper - self.lower
+            self.lower = self.lower - self.enlargement * width
+            self.upper = self.upper + self.enlargement * width
+        self._fitted = True
+        self._num_training_samples = int(features.shape[0])
+        return self
+
+    def update(self, inputs: np.ndarray) -> "MinMaxMonitor":
+        """Fold additional data into an already fitted envelope.
+
+        This mirrors the incremental ``⊎`` operator of the paper's generic
+        construction algorithm and is the mechanism used to enlarge a monitor
+        with a validation set.
+        """
+        self._require_fitted()
+        features = self.features(inputs)
+        self.lower = np.minimum(self.lower, features.min(axis=0))
+        self.upper = np.maximum(self.upper, features.max(axis=0))
+        self._num_training_samples += int(features.shape[0])
+        return self
+
+    # ------------------------------------------------------------------
+    def envelope(self) -> Box:
+        """The fitted envelope as a :class:`~repro.symbolic.interval.Box`."""
+        self._require_fitted()
+        return Box(self.lower, self.upper)
+
+    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
+        self._require_fitted()
+        feature = self.features(input_vector)[0]
+        # Numeric tolerance: batched (fit-time) and single-input (operation-
+        # time) forward passes may differ in the last float, and a training
+        # sample sitting exactly on the envelope boundary must not warn.
+        tolerance = 1e-9 * np.maximum(
+            1.0, np.maximum(np.abs(self.lower), np.abs(self.upper))
+        )
+        below = feature < self.lower - tolerance
+        above = feature > self.upper + tolerance
+        violations = np.nonzero(below | above)[0]
+        distances = np.maximum(self.lower - feature, feature - self.upper)
+        return MonitorVerdict(
+            warn=bool(violations.size > 0),
+            violations=tuple(int(v) for v in violations),
+            details={
+                "max_violation_distance": float(distances.max(initial=0.0)),
+                "num_violations": int(violations.size),
+            },
+        )
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["enlargement"] = self.enlargement
+        if self._fitted:
+            info["envelope_width_sum"] = float(np.sum(self.upper - self.lower))
+        return info
+
+
+class RobustMinMaxMonitor(MinMaxMonitor):
+    """Robust min-max monitor ``M_{⟨G, k, k_p, Δ⟩}`` (Section III-B).
+
+    Every training input contributes its *perturbation estimate* — a sound
+    per-neuron bound under all Δ-bounded perturbations applied at layer
+    ``k_p`` — and the envelope is the join of all those bounds.
+    """
+
+    kind = "robust_minmax"
+
+    def __init__(
+        self,
+        network: Sequential,
+        layer_index: int,
+        perturbation: PerturbationSpec,
+        neuron_indices: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(network, layer_index, neuron_indices, enlargement=0.0)
+        if perturbation.layer >= layer_index:
+            raise ConfigurationError(
+                "perturbation layer k_p must be strictly before the monitored layer"
+            )
+        self.perturbation = perturbation
+
+    def fit(self, training_inputs: np.ndarray) -> "RobustMinMaxMonitor":
+        """Join the perturbation estimates of every training input."""
+        training_inputs = np.atleast_2d(np.asarray(training_inputs, dtype=np.float64))
+        if training_inputs.shape[0] == 0:
+            raise ShapeError("fit() needs at least one training input")
+        lower = None
+        upper = None
+        for estimate in perturbation_estimates(
+            self.network, training_inputs, self.layer_index, self.perturbation
+        ):
+            est_low, est_high = self._select(estimate.low, estimate.high)
+            if lower is None:
+                lower, upper = est_low.copy(), est_high.copy()
+            else:
+                np.minimum(lower, est_low, out=lower)
+                np.maximum(upper, est_high, out=upper)
+        self.lower = lower
+        self.upper = upper
+        self._fitted = True
+        self._num_training_samples = int(training_inputs.shape[0])
+        return self
+
+    def update(self, inputs: np.ndarray) -> "RobustMinMaxMonitor":
+        """Fold additional data (with the same perturbation model) into the envelope."""
+        self._require_fitted()
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        for estimate in perturbation_estimates(
+            self.network, inputs, self.layer_index, self.perturbation
+        ):
+            est_low, est_high = self._select(estimate.low, estimate.high)
+            np.minimum(self.lower, est_low, out=self.lower)
+            np.maximum(self.upper, est_high, out=self.upper)
+        self._num_training_samples += int(inputs.shape[0])
+        return self
+
+    def describe(self) -> Dict[str, object]:
+        info = super().describe()
+        info["perturbation"] = self.perturbation.describe()
+        return info

@@ -1,0 +1,116 @@
+"""Perturbation specification and the perturbation estimate of Definition 1.
+
+A :class:`PerturbationSpec` bundles the three ingredients of the paper's
+robust construction:
+
+* ``delta`` — the per-dimension perturbation budget ``Δ``;
+* ``layer`` — the layer ``k_p`` at whose *output* the perturbation is applied
+  (``0`` means the raw input, i.e. pixel-level perturbation);
+* ``method`` — the sound bound-propagation back-end (``"box"``,
+  ``"zonotope"`` or ``"star"``).
+
+:func:`perturbation_estimate` computes ``pe^G_k(v, k_p, Δ)`` for a single
+training input and :func:`perturbation_estimates` vectorises over a data set,
+which is the inner loop of every robust monitor's ``fit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn.network import Sequential
+from ..symbolic.interval import Box
+from ..symbolic.propagation import PROPAGATION_METHODS, perturbation_bounds
+
+__all__ = ["PerturbationSpec", "perturbation_estimate", "perturbation_estimates"]
+
+
+@dataclass(frozen=True)
+class PerturbationSpec:
+    """Perturbation model ``(Δ, k_p, back-end)`` used by robust monitors."""
+
+    delta: float = 0.0
+    layer: int = 0
+    method: str = "box"
+
+    def __post_init__(self) -> None:
+        if self.delta < 0:
+            raise ConfigurationError("perturbation delta must be non-negative")
+        if self.layer < 0:
+            raise ConfigurationError("perturbation layer k_p must be non-negative")
+        if self.method not in PROPAGATION_METHODS:
+            raise ConfigurationError(
+                f"unknown propagation method '{self.method}'; choose one of "
+                f"{PROPAGATION_METHODS}"
+            )
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when ``Δ = 0`` so the estimate degenerates to a point."""
+        return self.delta == 0.0
+
+    def describe(self) -> str:
+        return f"Δ={self.delta}, k_p={self.layer}, method={self.method}"
+
+
+def perturbation_estimate(
+    network: Sequential,
+    input_vector: np.ndarray,
+    monitored_layer: int,
+    spec: PerturbationSpec,
+) -> Box:
+    """Compute ``pe^G_k(v, k_p, Δ)`` as a :class:`~repro.symbolic.interval.Box`.
+
+    The returned box is a sound per-neuron enclosure of the monitored-layer
+    feature vector of every input whose layer-``k_p`` representation is within
+    ``Δ`` (infinity norm) of that of ``input_vector``.
+    """
+    if spec.layer >= monitored_layer:
+        raise ConfigurationError(
+            f"perturbation layer k_p={spec.layer} must be strictly before the "
+            f"monitored layer k={monitored_layer}"
+        )
+    return perturbation_bounds(
+        network,
+        input_vector,
+        monitored_layer=monitored_layer,
+        perturbation_layer=spec.layer,
+        delta=spec.delta,
+        method=spec.method,
+    )
+
+
+def perturbation_estimates(
+    network: Sequential,
+    inputs: np.ndarray,
+    monitored_layer: int,
+    spec: PerturbationSpec,
+) -> Iterator[Box]:
+    """Yield the perturbation estimate of every row of ``inputs``.
+
+    With a trivial spec (``Δ = 0``) the estimates are computed with a single
+    batched forward pass for efficiency; otherwise each input is propagated
+    symbolically on its own.
+    """
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+    if spec.is_trivial:
+        features = network.forward_to(monitored_layer, inputs)
+        for row in np.atleast_2d(features):
+            yield Box.from_point(row)
+        return
+    for row in inputs:
+        yield perturbation_estimate(network, row, monitored_layer, spec)
+
+
+def collect_estimates(
+    network: Sequential,
+    inputs: np.ndarray,
+    monitored_layer: int,
+    spec: PerturbationSpec,
+) -> List[Box]:
+    """Materialise :func:`perturbation_estimates` into a list."""
+    return list(perturbation_estimates(network, inputs, monitored_layer, spec))

@@ -1,0 +1,219 @@
+"""Elementwise activation functions with derivatives and monotone bounds.
+
+Activations appear in three places in the reproduction:
+
+* forward evaluation of the trained network (`value`);
+* backpropagation during training (`derivative`);
+* sound symbolic bound propagation for robust monitor construction
+  (`bound_transform`), which maps an interval ``[low, high]`` of pre-
+  activation values to an interval guaranteed to contain every possible
+  post-activation value.
+
+All activations used in the paper's setting (ReLU family, sigmoid, tanh,
+identity) are monotone non-decreasing, so the bound transform is simply the
+activation applied to both interval ends.  The base class nevertheless keeps
+the hook explicit so non-monotone activations could be supported by
+overriding :meth:`bound_transform`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softplus",
+    "HardTanh",
+    "ELU",
+    "get_activation",
+]
+
+
+class Activation:
+    """Base class for elementwise activation functions."""
+
+    name = "activation"
+    #: True when the function is monotone non-decreasing on all of R.
+    monotone = True
+
+    def value(self, x: np.ndarray) -> np.ndarray:
+        """Return the activation applied elementwise to ``x``."""
+        raise NotImplementedError
+
+    def derivative(self, x: np.ndarray) -> np.ndarray:
+        """Return the elementwise derivative evaluated at pre-activation ``x``."""
+        raise NotImplementedError
+
+    def bound_transform(
+        self, low: np.ndarray, high: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Map pre-activation bounds to sound post-activation bounds.
+
+        For monotone activations the image of ``[low, high]`` is exactly
+        ``[value(low), value(high)]``.
+        """
+        if not self.monotone:  # pragma: no cover - defensive
+            raise NotImplementedError(
+                f"{self.name} is not monotone; override bound_transform"
+            )
+        return self.value(low), self.value(high)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.value(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}()"
+
+
+class Identity(Activation):
+    """Identity (linear) activation."""
+
+    name = "identity"
+
+    def value(self, x):
+        return np.asarray(x, dtype=np.float64)
+
+    def derivative(self, x):
+        return np.ones_like(np.asarray(x, dtype=np.float64))
+
+
+class ReLU(Activation):
+    """Rectified linear unit ``max(0, x)``."""
+
+    name = "relu"
+
+    def value(self, x):
+        return np.maximum(np.asarray(x, dtype=np.float64), 0.0)
+
+    def derivative(self, x):
+        return (np.asarray(x) > 0.0).astype(np.float64)
+
+
+class LeakyReLU(Activation):
+    """Leaky ReLU with a small negative-side slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha: float = 0.01):
+        if alpha < 0 or alpha >= 1:
+            raise ConfigurationError("leaky ReLU slope must lie in [0, 1)")
+        self.alpha = float(alpha)
+
+    def value(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x > 0.0, x, self.alpha * x)
+
+    def derivative(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x > 0.0, 1.0, self.alpha)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, numerically stabilised for large magnitudes."""
+
+    name = "sigmoid"
+
+    def value(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty_like(x)
+        positive = x >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+        expx = np.exp(x[~positive])
+        out[~positive] = expx / (1.0 + expx)
+        return out
+
+    def derivative(self, x):
+        s = self.value(x)
+        return s * (1.0 - s)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent activation."""
+
+    name = "tanh"
+
+    def value(self, x):
+        return np.tanh(np.asarray(x, dtype=np.float64))
+
+    def derivative(self, x):
+        t = np.tanh(np.asarray(x, dtype=np.float64))
+        return 1.0 - t * t
+
+
+class Softplus(Activation):
+    """Softplus ``log(1 + exp(x))``, a smooth ReLU surrogate."""
+
+    name = "softplus"
+
+    def value(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        # log1p(exp(-|x|)) + max(x, 0) is stable for both signs.
+        return np.log1p(np.exp(-np.abs(x))) + np.maximum(x, 0.0)
+
+    def derivative(self, x):
+        return Sigmoid().value(x)
+
+
+class HardTanh(Activation):
+    """Piecewise-linear tanh clamp to ``[-1, 1]``."""
+
+    name = "hard_tanh"
+
+    def value(self, x):
+        return np.clip(np.asarray(x, dtype=np.float64), -1.0, 1.0)
+
+    def derivative(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return ((x > -1.0) & (x < 1.0)).astype(np.float64)
+
+
+class ELU(Activation):
+    """Exponential linear unit."""
+
+    name = "elu"
+
+    def __init__(self, alpha: float = 1.0):
+        if alpha <= 0:
+            raise ConfigurationError("ELU alpha must be positive")
+        self.alpha = float(alpha)
+
+    def value(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x > 0.0, x, self.alpha * np.expm1(x))
+
+    def derivative(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        return np.where(x > 0.0, 1.0, self.alpha * np.exp(x))
+
+
+_REGISTRY = {
+    "identity": Identity,
+    "linear": Identity,
+    "relu": ReLU,
+    "leaky_relu": LeakyReLU,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "softplus": Softplus,
+    "hard_tanh": HardTanh,
+    "elu": ELU,
+}
+
+
+def get_activation(name: str) -> Activation:
+    """Return an activation instance from its registry ``name``."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown activation '{name}'; known activations: {known}"
+        ) from exc

@@ -1,0 +1,223 @@
+"""Weight initialisation strategies for the numpy DNN substrate.
+
+The monitor-construction algorithms only require a *trained* feed-forward
+network, but the reproduction trains its own networks from scratch, so the
+usual initialisation schemes (Glorot/Xavier, He/Kaiming, LeCun, orthogonal)
+are provided.  Every initializer is a small callable object so that networks
+can be serialised together with the name of the scheme that produced them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "Initializer",
+    "Zeros",
+    "Constant",
+    "RandomNormal",
+    "RandomUniform",
+    "GlorotUniform",
+    "GlorotNormal",
+    "HeUniform",
+    "HeNormal",
+    "LeCunNormal",
+    "Orthogonal",
+    "get_initializer",
+]
+
+
+class Initializer:
+    """Base class for weight initialisers.
+
+    Subclasses implement :meth:`sample` which receives the shape of the
+    parameter tensor (``(fan_in, fan_out)`` for dense weights, ``(fan_out,)``
+    for biases) and a :class:`numpy.random.Generator`.
+    """
+
+    name = "initializer"
+
+    def sample(self, shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(
+        self, shape: Tuple[int, ...], rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        if rng is None:
+            rng = np.random.default_rng()
+        return self.sample(shape, rng).astype(np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}()"
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return ``(fan_in, fan_out)`` for a parameter tensor shape."""
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[0] * receptive, shape[1] * receptive
+
+
+class Zeros(Initializer):
+    """Initialise every entry with zero (typical for biases)."""
+
+    name = "zeros"
+
+    def sample(self, shape, rng):
+        return np.zeros(shape)
+
+
+class Constant(Initializer):
+    """Initialise every entry with a fixed constant value."""
+
+    name = "constant"
+
+    def __init__(self, value: float = 0.0):
+        self.value = float(value)
+
+    def sample(self, shape, rng):
+        return np.full(shape, self.value)
+
+
+class RandomNormal(Initializer):
+    """Independent Gaussian entries with configurable mean and stddev."""
+
+    name = "random_normal"
+
+    def __init__(self, mean: float = 0.0, stddev: float = 0.05):
+        if stddev <= 0:
+            raise ConfigurationError("stddev must be positive")
+        self.mean = float(mean)
+        self.stddev = float(stddev)
+
+    def sample(self, shape, rng):
+        return rng.normal(self.mean, self.stddev, size=shape)
+
+
+class RandomUniform(Initializer):
+    """Independent uniform entries in ``[low, high]``."""
+
+    name = "random_uniform"
+
+    def __init__(self, low: float = -0.05, high: float = 0.05):
+        if high <= low:
+            raise ConfigurationError("high must exceed low")
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, shape, rng):
+        return rng.uniform(self.low, self.high, size=shape)
+
+
+class GlorotUniform(Initializer):
+    """Glorot/Xavier uniform initialisation, suited to tanh/sigmoid layers."""
+
+    name = "glorot_uniform"
+
+    def sample(self, shape, rng):
+        fan_in, fan_out = _fans(shape)
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class GlorotNormal(Initializer):
+    """Glorot/Xavier normal initialisation."""
+
+    name = "glorot_normal"
+
+    def sample(self, shape, rng):
+        fan_in, fan_out = _fans(shape)
+        stddev = np.sqrt(2.0 / (fan_in + fan_out))
+        return rng.normal(0.0, stddev, size=shape)
+
+
+class HeUniform(Initializer):
+    """He/Kaiming uniform initialisation, suited to ReLU layers."""
+
+    name = "he_uniform"
+
+    def sample(self, shape, rng):
+        fan_in, _ = _fans(shape)
+        limit = np.sqrt(6.0 / fan_in)
+        return rng.uniform(-limit, limit, size=shape)
+
+
+class HeNormal(Initializer):
+    """He/Kaiming normal initialisation, suited to ReLU layers."""
+
+    name = "he_normal"
+
+    def sample(self, shape, rng):
+        fan_in, _ = _fans(shape)
+        stddev = np.sqrt(2.0 / fan_in)
+        return rng.normal(0.0, stddev, size=shape)
+
+
+class LeCunNormal(Initializer):
+    """LeCun normal initialisation (variance ``1/fan_in``)."""
+
+    name = "lecun_normal"
+
+    def sample(self, shape, rng):
+        fan_in, _ = _fans(shape)
+        stddev = np.sqrt(1.0 / fan_in)
+        return rng.normal(0.0, stddev, size=shape)
+
+
+class Orthogonal(Initializer):
+    """Orthogonal initialisation via QR decomposition of a Gaussian matrix."""
+
+    name = "orthogonal"
+
+    def __init__(self, gain: float = 1.0):
+        self.gain = float(gain)
+
+    def sample(self, shape, rng):
+        if len(shape) < 2:
+            return rng.normal(0.0, 1.0, size=shape) * self.gain
+        rows, cols = shape[0], int(np.prod(shape[1:]))
+        flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+        q, r = np.linalg.qr(flat)
+        q *= np.sign(np.diag(r))
+        if rows < cols:
+            q = q.T
+        return (self.gain * q[:rows, :cols]).reshape(shape)
+
+
+_REGISTRY = {
+    cls.name: cls
+    for cls in (
+        Zeros,
+        Constant,
+        RandomNormal,
+        RandomUniform,
+        GlorotUniform,
+        GlorotNormal,
+        HeUniform,
+        HeNormal,
+        LeCunNormal,
+        Orthogonal,
+    )
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Return an initializer instance from its registry ``name``.
+
+    Raises :class:`ConfigurationError` for unknown names so that typos in
+    configuration files fail loudly instead of silently falling back.
+    """
+    try:
+        return _REGISTRY[name]()
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown initializer '{name}'; known initializers: {known}"
+        ) from exc

@@ -1,0 +1,146 @@
+"""Loss functions for training the reproduction's networks.
+
+Each loss returns both the scalar loss value and the gradient with respect to
+the network output, which the :class:`~repro.nn.training.Trainer` feeds into
+:meth:`Sequential.backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+
+__all__ = [
+    "Loss",
+    "MeanSquaredError",
+    "MeanAbsoluteError",
+    "SoftmaxCrossEntropy",
+    "Huber",
+    "get_loss",
+    "softmax",
+    "one_hot",
+]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Convert integer class labels to a one-hot matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ShapeError(f"labels must be a 1-D integer array, got shape {labels.shape}")
+    if labels.min(initial=0) < 0 or labels.max(initial=0) >= num_classes:
+        raise ShapeError("labels out of range for the requested number of classes")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+class Loss:
+    """Base class for losses: returns ``(value, grad_wrt_predictions)``."""
+
+    name = "loss"
+
+    def __call__(
+        self, predictions: np.ndarray, targets: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _validate(predictions: np.ndarray, targets: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        predictions = np.atleast_2d(np.asarray(predictions, dtype=np.float64))
+        targets = np.atleast_2d(np.asarray(targets, dtype=np.float64))
+        if predictions.shape != targets.shape:
+            raise ShapeError(
+                f"predictions shape {predictions.shape} does not match targets "
+                f"shape {targets.shape}"
+            )
+        return predictions, targets
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error averaged over batch and output dimensions."""
+
+    name = "mse"
+
+    def __call__(self, predictions, targets):
+        predictions, targets = self._validate(predictions, targets)
+        diff = predictions - targets
+        value = float(np.mean(diff * diff))
+        grad = 2.0 * diff / diff.size
+        return value, grad
+
+
+class MeanAbsoluteError(Loss):
+    """Mean absolute error averaged over batch and output dimensions."""
+
+    name = "mae"
+
+    def __call__(self, predictions, targets):
+        predictions, targets = self._validate(predictions, targets)
+        diff = predictions - targets
+        value = float(np.mean(np.abs(diff)))
+        grad = np.sign(diff) / diff.size
+        return value, grad
+
+
+class Huber(Loss):
+    """Huber loss: quadratic near zero, linear for large residuals."""
+
+    name = "huber"
+
+    def __init__(self, delta: float = 1.0):
+        if delta <= 0:
+            raise ConfigurationError("Huber delta must be positive")
+        self.delta = float(delta)
+
+    def __call__(self, predictions, targets):
+        predictions, targets = self._validate(predictions, targets)
+        diff = predictions - targets
+        abs_diff = np.abs(diff)
+        quadratic = np.minimum(abs_diff, self.delta)
+        linear = abs_diff - quadratic
+        value = float(np.mean(0.5 * quadratic**2 + self.delta * linear))
+        grad = np.clip(diff, -self.delta, self.delta) / diff.size
+        return value, grad
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax followed by cross entropy against one-hot (or soft) targets."""
+
+    name = "softmax_cross_entropy"
+
+    def __call__(self, predictions, targets):
+        predictions, targets = self._validate(predictions, targets)
+        probabilities = softmax(predictions)
+        clipped = np.clip(probabilities, 1e-12, 1.0)
+        value = float(-np.mean(np.sum(targets * np.log(clipped), axis=-1)))
+        grad = (probabilities - targets) / predictions.shape[0]
+        return value, grad
+
+
+_REGISTRY = {
+    "mse": MeanSquaredError,
+    "mae": MeanAbsoluteError,
+    "huber": Huber,
+    "softmax_cross_entropy": SoftmaxCrossEntropy,
+    "cross_entropy": SoftmaxCrossEntropy,
+}
+
+
+def get_loss(name: str) -> Loss:
+    """Return a loss instance from its registry ``name``."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(f"unknown loss '{name}'; known losses: {known}") from exc

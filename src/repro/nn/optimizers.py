@@ -1,0 +1,157 @@
+"""Gradient-based optimizers for the numpy DNN substrate.
+
+All optimizers operate on the flat parameter/gradient dictionaries exposed by
+:class:`~repro.nn.network.Sequential` and update parameters *in place*, so a
+single network object is trained, then frozen and handed to the monitor
+construction code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Optimizer", "SGD", "Momentum", "Adam", "RMSProp", "get_optimizer"]
+
+
+class Optimizer:
+    """Base class: applies an update rule to parameter arrays in place."""
+
+    name = "optimizer"
+
+    def __init__(self, learning_rate: float = 0.01):
+        if learning_rate <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self.iterations = 0
+
+    def step(
+        self, parameters: Dict[str, np.ndarray], gradients: Dict[str, np.ndarray]
+    ) -> None:
+        """Apply one update using gradients already accumulated."""
+        self.iterations += 1
+        for key, param in parameters.items():
+            grad = gradients.get(key)
+            if grad is None:
+                raise ConfigurationError(f"missing gradient for parameter '{key}'")
+            self._update(key, param, grad)
+
+    def _update(self, key: str, param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear optimizer state (slots, moments, iteration counter)."""
+        self.iterations = 0
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent."""
+
+    name = "sgd"
+
+    def _update(self, key, param, grad):
+        param -= self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """SGD with classical momentum."""
+
+    name = "momentum"
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.9):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must lie in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update(self, key, param, grad):
+        velocity = self._velocity.setdefault(key, np.zeros_like(param))
+        velocity *= self.momentum
+        velocity -= self.learning_rate * grad
+        param += velocity
+
+    def reset(self) -> None:
+        super().reset()
+        self._velocity.clear()
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponential moving average of squared gradients."""
+
+    name = "rmsprop"
+
+    def __init__(
+        self, learning_rate: float = 0.001, rho: float = 0.9, epsilon: float = 1e-8
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 < rho < 1.0:
+            raise ConfigurationError("rho must lie in (0, 1)")
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def _update(self, key, param, grad):
+        cache = self._cache.setdefault(key, np.zeros_like(param))
+        cache *= self.rho
+        cache += (1.0 - self.rho) * grad * grad
+        param -= self.learning_rate * grad / (np.sqrt(cache) + self.epsilon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._cache.clear()
+
+
+class Adam(Optimizer):
+    """Adam optimizer with bias-corrected first and second moments."""
+
+    name = "adam"
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ConfigurationError("Adam betas must lie in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+
+    def _update(self, key, param, grad):
+        m = self._m.setdefault(key, np.zeros_like(param))
+        v = self._v.setdefault(key, np.zeros_like(param))
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad * grad
+        m_hat = m / (1.0 - self.beta1**self.iterations)
+        v_hat = v / (1.0 - self.beta2**self.iterations)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    def reset(self) -> None:
+        super().reset()
+        self._m.clear()
+        self._v.clear()
+
+
+_REGISTRY = {"sgd": SGD, "momentum": Momentum, "adam": Adam, "rmsprop": RMSProp}
+
+
+def get_optimizer(name: str, **kwargs) -> Optimizer:
+    """Return an optimizer instance from its registry ``name``."""
+    try:
+        return _REGISTRY[name](**kwargs)
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown optimizer '{name}'; known optimizers: {known}"
+        ) from exc

@@ -1,0 +1,68 @@
+"""Saving and loading trained networks.
+
+Networks are serialised as a single ``.npz`` archive containing a JSON layer
+configuration plus one array per weight tensor.  The format keeps the whole
+artefact in one file so that experiments can cache trained networks between
+benchmark runs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import SerializationError
+from .network import Sequential
+
+__all__ = ["save_network", "load_network"]
+
+_CONFIG_KEY = "__config_json__"
+
+
+def save_network(network: Sequential, path: Union[str, Path]) -> Path:
+    """Serialise ``network`` (architecture + weights) to ``path``.
+
+    Returns the path actually written (an ``.npz`` suffix is appended when
+    missing).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    config_json = json.dumps(network.get_config())
+    arrays = {f"weight_{i}": w for i, w in enumerate(network.get_weights())}
+    arrays[_CONFIG_KEY] = np.array(config_json)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        np.savez(path, **arrays)
+    except OSError as exc:  # pragma: no cover - filesystem failure
+        raise SerializationError(f"failed to write network to {path}: {exc}") from exc
+    return path
+
+
+def load_network(path: Union[str, Path]) -> Sequential:
+    """Load a network previously written by :func:`save_network`."""
+    path = Path(path)
+    if not path.exists():
+        candidate = path.with_suffix(".npz")
+        if candidate.exists():
+            path = candidate
+        else:
+            raise SerializationError(f"network file not found: {path}")
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"failed to read network from {path}: {exc}") from exc
+    if _CONFIG_KEY not in archive:
+        raise SerializationError(f"{path} is not a serialised repro network")
+    config = json.loads(str(archive[_CONFIG_KEY]))
+    weight_keys = sorted(
+        (key for key in archive.files if key.startswith("weight_")),
+        key=lambda key: int(key.split("_", 1)[1]),
+    )
+    weights = [archive[key] for key in weight_keys]
+    network = Sequential.from_config(config, seed=0)
+    network.set_weights(weights)
+    return network

@@ -1,0 +1,238 @@
+"""Mini-batch training loop for the numpy DNN substrate.
+
+The reproduction trains small classification networks (synthetic digits) and
+regression networks (track waypoints) whose frozen weights feed the monitor
+construction.  The trainer is intentionally simple: shuffled mini-batches,
+optional validation tracking, early stopping and a training history that the
+examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+from .losses import Loss, get_loss, one_hot, softmax
+from .network import Sequential
+from .optimizers import Optimizer, get_optimizer
+
+__all__ = ["TrainingHistory", "Trainer", "accuracy", "train_classifier", "train_regressor"]
+
+
+def accuracy(network: Sequential, inputs: np.ndarray, labels: np.ndarray) -> float:
+    """Classification accuracy of ``network`` on integer ``labels``."""
+    predictions = network.predict_classes(inputs)
+    labels = np.asarray(labels, dtype=np.int64)
+    if predictions.shape != labels.shape:
+        raise ShapeError(
+            f"prediction shape {predictions.shape} does not match labels "
+            f"{labels.shape}"
+        )
+    return float(np.mean(predictions == labels))
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of losses and metrics produced by :class:`Trainer`."""
+
+    train_loss: List[float] = field(default_factory=list)
+    validation_loss: List[float] = field(default_factory=list)
+    train_metric: List[float] = field(default_factory=list)
+    validation_metric: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    def best_validation_loss(self) -> Optional[float]:
+        if not self.validation_loss:
+            return None
+        return float(min(self.validation_loss))
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the final epoch."""
+        if not self.train_loss:
+            return "no training performed"
+        parts = [f"epochs={self.epochs}", f"train_loss={self.train_loss[-1]:.4f}"]
+        if self.validation_loss:
+            parts.append(f"val_loss={self.validation_loss[-1]:.4f}")
+        if self.train_metric:
+            parts.append(f"train_metric={self.train_metric[-1]:.4f}")
+        if self.validation_metric:
+            parts.append(f"val_metric={self.validation_metric[-1]:.4f}")
+        return ", ".join(parts)
+
+
+class Trainer:
+    """Mini-batch gradient-descent trainer for :class:`Sequential` networks."""
+
+    def __init__(
+        self,
+        network: Sequential,
+        loss: "Loss | str" = "mse",
+        optimizer: "Optimizer | str" = "adam",
+        batch_size: int = 32,
+        seed: Optional[int] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        self.network = network
+        self.loss = get_loss(loss) if isinstance(loss, str) else loss
+        self.optimizer = (
+            get_optimizer(optimizer) if isinstance(optimizer, str) else optimizer
+        )
+        self.batch_size = int(batch_size)
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def _batches(self, count: int) -> List[np.ndarray]:
+        order = self._rng.permutation(count)
+        return [
+            order[start : start + self.batch_size]
+            for start in range(0, count, self.batch_size)
+        ]
+
+    def train_step(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """One gradient step on a single mini-batch; returns the batch loss."""
+        self.network.zero_gradients()
+        predictions = self.network.forward(inputs, training=True)
+        value, grad = self.loss(predictions, targets)
+        self.network.backward(grad)
+        self.optimizer.step(self.network.parameters(), self.network.gradients())
+        return value
+
+    def evaluate(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        """Loss of the network on ``(inputs, targets)`` without updating it."""
+        predictions = self.network.forward(inputs, training=False)
+        value, _ = self.loss(predictions, targets)
+        return value
+
+    def fit(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        epochs: int = 10,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        metric=None,
+        early_stopping_patience: Optional[int] = None,
+        verbose: bool = False,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` epochs and return the loss/metric history.
+
+        Parameters
+        ----------
+        metric:
+            Optional callable ``metric(network, inputs, targets) -> float``
+            evaluated on training (and validation) data after each epoch.
+        early_stopping_patience:
+            Stop when the validation loss has not improved for this many
+            epochs; requires ``validation_data``.
+        """
+        inputs = np.asarray(inputs, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if inputs.shape[0] != targets.shape[0]:
+            raise ShapeError("inputs and targets disagree on the number of samples")
+        if early_stopping_patience is not None and validation_data is None:
+            raise ConfigurationError(
+                "early stopping requires validation_data to be provided"
+            )
+        history = TrainingHistory()
+        best_val = np.inf
+        stale_epochs = 0
+        for epoch in range(epochs):
+            epoch_losses = []
+            for batch in self._batches(inputs.shape[0]):
+                epoch_losses.append(self.train_step(inputs[batch], targets[batch]))
+            history.train_loss.append(float(np.mean(epoch_losses)))
+            if metric is not None:
+                history.train_metric.append(float(metric(self.network, inputs, targets)))
+            if validation_data is not None:
+                val_inputs, val_targets = validation_data
+                val_loss = self.evaluate(val_inputs, val_targets)
+                history.validation_loss.append(val_loss)
+                if metric is not None:
+                    history.validation_metric.append(
+                        float(metric(self.network, val_inputs, val_targets))
+                    )
+                if early_stopping_patience is not None:
+                    if val_loss < best_val - 1e-12:
+                        best_val = val_loss
+                        stale_epochs = 0
+                    else:
+                        stale_epochs += 1
+                        if stale_epochs >= early_stopping_patience:
+                            break
+            if verbose:  # pragma: no cover - console output
+                print(f"epoch {epoch + 1}: {history.summary()}")
+        return history
+
+
+def train_classifier(
+    network: Sequential,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    num_classes: int,
+    epochs: int = 20,
+    learning_rate: float = 0.005,
+    batch_size: int = 64,
+    validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    seed: Optional[int] = 0,
+) -> TrainingHistory:
+    """Train a classification network with softmax cross entropy.
+
+    ``labels`` are integer class ids; validation data (if given) uses integer
+    labels as well.  Returns the :class:`TrainingHistory` with accuracy as the
+    tracked metric.
+    """
+    targets = one_hot(np.asarray(labels), num_classes)
+    validation = None
+    if validation_data is not None:
+        val_inputs, val_labels = validation_data
+        validation = (np.asarray(val_inputs, dtype=np.float64), one_hot(np.asarray(val_labels), num_classes))
+
+    def metric(net: Sequential, x: np.ndarray, y_onehot: np.ndarray) -> float:
+        return accuracy(net, x, np.argmax(y_onehot, axis=-1))
+
+    trainer = Trainer(
+        network,
+        loss="softmax_cross_entropy",
+        optimizer=get_optimizer("adam", learning_rate=learning_rate),
+        batch_size=batch_size,
+        seed=seed,
+    )
+    return trainer.fit(
+        inputs,
+        targets,
+        epochs=epochs,
+        validation_data=validation,
+        metric=metric,
+    )
+
+
+def train_regressor(
+    network: Sequential,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    epochs: int = 30,
+    learning_rate: float = 0.005,
+    batch_size: int = 64,
+    validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    seed: Optional[int] = 0,
+) -> TrainingHistory:
+    """Train a regression network (e.g. the waypoint predictor) with MSE."""
+    trainer = Trainer(
+        network,
+        loss="mse",
+        optimizer=get_optimizer("adam", learning_rate=learning_rate),
+        batch_size=batch_size,
+        seed=seed,
+    )
+    return trainer.fit(inputs, targets, epochs=epochs, validation_data=validation_data)
+
+
+def predict_probabilities(network: Sequential, inputs: np.ndarray) -> np.ndarray:
+    """Softmax probabilities of a classification network."""
+    return softmax(network.forward(inputs, training=False))

@@ -1,0 +1,34 @@
+"""Sound symbolic reasoning substrate (abstract interpretation domains).
+
+Provides the three bound-propagation back-ends the paper cites for computing
+the perturbation estimate of Definition 1: axis-aligned boxes (interval bound
+propagation), zonotopes and star sets, together with a unified
+:func:`~repro.symbolic.propagation.propagate_bounds` /
+:func:`~repro.symbolic.propagation.perturbation_bounds` API.
+"""
+
+from .interval import Box
+from .propagation import (
+    PROPAGATION_METHODS,
+    perturbation_bounds,
+    propagate_bounds,
+    propagate_box,
+    propagate_star,
+    propagate_zonotope,
+    propagation_backends,
+)
+from .star import StarSet
+from .zonotope import Zonotope
+
+__all__ = [
+    "Box",
+    "Zonotope",
+    "StarSet",
+    "PROPAGATION_METHODS",
+    "propagate_bounds",
+    "propagate_box",
+    "propagate_zonotope",
+    "propagate_star",
+    "perturbation_bounds",
+    "propagation_backends",
+]

@@ -1,0 +1,225 @@
+"""Axis-aligned box (interval vector) abstract domain.
+
+The box domain is the abstraction the paper's implementation uses for the
+perturbation estimate (interval bound propagation, reference [3]).  A box is
+stored as a pair of numpy vectors ``(low, high)`` and supports the interval
+arithmetic needed to propagate soundly through affine layers and monotone
+activations, plus the set operations used by tests and monitors (membership,
+join, intersection, sampling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned hyper-rectangle ``{x : low <= x <= high}``."""
+
+    low: np.ndarray
+    high: np.ndarray
+
+    def __post_init__(self) -> None:
+        low = np.asarray(self.low, dtype=np.float64).reshape(-1)
+        high = np.asarray(self.high, dtype=np.float64).reshape(-1)
+        if low.shape != high.shape:
+            raise ShapeError(
+                f"box bounds disagree on dimension: {low.shape} vs {high.shape}"
+            )
+        if np.any(low > high + 1e-12):
+            raise ShapeError("box lower bound exceeds upper bound")
+        object.__setattr__(self, "low", low)
+        object.__setattr__(self, "high", np.maximum(low, high))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_center(cls, center: np.ndarray, radius: "float | np.ndarray") -> "Box":
+        """Box centred at ``center`` with (scalar or per-dim) ``radius``."""
+        center = np.asarray(center, dtype=np.float64).reshape(-1)
+        radius_arr = np.broadcast_to(
+            np.asarray(radius, dtype=np.float64), center.shape
+        ).astype(np.float64)
+        if np.any(radius_arr < 0):
+            raise ShapeError("box radius must be non-negative")
+        return cls(center - radius_arr, center + radius_arr)
+
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "Box":
+        """Degenerate box containing a single point."""
+        return cls.from_center(point, 0.0)
+
+    @classmethod
+    def hull_of_points(cls, points: np.ndarray) -> "Box":
+        """Smallest box containing every row of ``points``."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        return cls(points.min(axis=0), points.max(axis=0))
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return int(self.low.shape[0])
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.low + self.high) / 2.0
+
+    @property
+    def radius(self) -> np.ndarray:
+        return (self.high - self.low) / 2.0
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.high - self.low
+
+    def width_sum(self) -> float:
+        """Total width (L1 size) — a scalar precision measure used in benches."""
+        return float(np.sum(self.widths))
+
+    def max_width(self) -> float:
+        return float(np.max(self.widths)) if self.dimension else 0.0
+
+    def is_degenerate(self, tolerance: float = 0.0) -> bool:
+        """True when every dimension has width at most ``tolerance``."""
+        return bool(np.all(self.widths <= tolerance))
+
+    # ------------------------------------------------------------------
+    # set operations
+    # ------------------------------------------------------------------
+    def contains(self, point: np.ndarray, tolerance: float = 1e-9) -> bool:
+        """True when ``point`` lies inside the box up to ``tolerance``."""
+        point = np.asarray(point, dtype=np.float64).reshape(-1)
+        if point.shape != self.low.shape:
+            raise ShapeError(
+                f"point dimension {point.shape} does not match box dimension "
+                f"{self.low.shape}"
+            )
+        return bool(
+            np.all(point >= self.low - tolerance) and np.all(point <= self.high + tolerance)
+        )
+
+    def contains_box(self, other: "Box", tolerance: float = 1e-9) -> bool:
+        """True when ``other`` is entirely inside this box."""
+        return bool(
+            np.all(other.low >= self.low - tolerance)
+            and np.all(other.high <= self.high + tolerance)
+        )
+
+    def join(self, other: "Box") -> "Box":
+        """Smallest box containing both boxes (the lattice join)."""
+        if other.dimension != self.dimension:
+            raise ShapeError("cannot join boxes of different dimensions")
+        return Box(np.minimum(self.low, other.low), np.maximum(self.high, other.high))
+
+    def intersect(self, other: "Box") -> Optional["Box"]:
+        """Intersection of two boxes, or ``None`` when they are disjoint."""
+        if other.dimension != self.dimension:
+            raise ShapeError("cannot intersect boxes of different dimensions")
+        low = np.maximum(self.low, other.low)
+        high = np.minimum(self.high, other.high)
+        if np.any(low > high):
+            return None
+        return Box(low, high)
+
+    def widen(self, amount: "float | np.ndarray") -> "Box":
+        """Enlarge the box by ``amount`` on every side."""
+        amount_arr = np.broadcast_to(
+            np.asarray(amount, dtype=np.float64), self.low.shape
+        )
+        if np.any(amount_arr < 0):
+            raise ShapeError("widening amount must be non-negative")
+        return Box(self.low - amount_arr, self.high + amount_arr)
+
+    # ------------------------------------------------------------------
+    # arithmetic (interval arithmetic on the whole vector)
+    # ------------------------------------------------------------------
+    def affine(self, weights: np.ndarray, bias: np.ndarray) -> "Box":
+        """Exact box image under ``x -> x @ weights + bias``."""
+        weights = np.asarray(weights, dtype=np.float64)
+        bias = np.asarray(bias, dtype=np.float64)
+        if weights.shape[0] != self.dimension:
+            raise ShapeError(
+                f"weight rows {weights.shape[0]} do not match box dimension "
+                f"{self.dimension}"
+            )
+        center = self.center @ weights + bias
+        radius = self.radius @ np.abs(weights)
+        return Box(center - radius, center + radius)
+
+    def elementwise_monotone(self, function) -> "Box":
+        """Image under an elementwise monotone non-decreasing ``function``."""
+        return Box(function(self.low), function(self.high))
+
+    def scale(self, factor: float) -> "Box":
+        """Image under multiplication by a scalar ``factor``."""
+        a = self.low * factor
+        b = self.high * factor
+        return Box(np.minimum(a, b), np.maximum(a, b))
+
+    def translate(self, offset: np.ndarray) -> "Box":
+        """Image under translation by ``offset``."""
+        offset = np.asarray(offset, dtype=np.float64).reshape(-1)
+        return Box(self.low + offset, self.high + offset)
+
+    # ------------------------------------------------------------------
+    # sampling & iteration
+    # ------------------------------------------------------------------
+    def sample(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Draw ``count`` uniform samples from the box (rows of the result)."""
+        if rng is None:
+            rng = np.random.default_rng()
+        return rng.uniform(self.low, self.high, size=(count, self.dimension))
+
+    def corners(self, limit: int = 1024) -> Iterator[np.ndarray]:
+        """Iterate over box corners (capped at ``limit`` to avoid blow-up)."""
+        dims = self.dimension
+        total = 1 << dims if dims < 31 else limit + 1
+        emitted = 0
+        for index in range(min(total, limit)):
+            corner = np.where(
+                [(index >> d) & 1 for d in range(dims)], self.high, self.low
+            )
+            yield corner.astype(np.float64)
+            emitted += 1
+            if emitted >= limit:
+                return
+
+    # ------------------------------------------------------------------
+    def as_bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(low, high)`` copies as plain arrays."""
+        return np.array(self.low, copy=True), np.array(self.high, copy=True)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        for lo, hi in zip(self.low, self.high):
+            yield float(lo), float(hi)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Box):
+            return NotImplemented
+        return bool(
+            self.dimension == other.dimension
+            and np.allclose(self.low, other.low)
+            and np.allclose(self.high, other.high)
+        )
+
+    def __hash__(self) -> int:  # dataclass(frozen) would use array hash otherwise
+        return hash((self.low.tobytes(), self.high.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.dimension <= 4:
+            pairs = ", ".join(f"[{lo:.3g}, {hi:.3g}]" for lo, hi in self)
+            return f"Box({pairs})"
+        return f"Box(dimension={self.dimension}, width_sum={self.width_sum():.3g})"

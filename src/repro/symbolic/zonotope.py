@@ -1,0 +1,202 @@
+"""Zonotope abstract domain for sound neuron-bound estimation.
+
+A zonotope is an affine image of a hyper-cube:
+
+    Z = { c + G @ eps  :  eps in [-1, 1]^m }
+
+where ``c`` is the centre vector and the rows of ``G`` (one per noise symbol)
+are the generators.  Zonotopes propagate *exactly* through affine layers and
+keep linear correlations between neurons, which makes the perturbation
+estimate of Definition 1 considerably tighter than plain interval bound
+propagation when layers share inputs.  ReLU layers are handled with the
+standard DeepZ-style minimal-area relaxation (Gehr et al., AI2 / DeepZ); other
+monotone activations fall back to a sound per-dimension interval relaxation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .interval import Box
+
+__all__ = ["Zonotope"]
+
+
+class Zonotope:
+    """A zonotope ``{center + generators.T @ eps : eps ∈ [-1, 1]^m}``.
+
+    ``generators`` is stored with shape ``(num_symbols, dimension)`` so that
+    each row is one noise symbol's contribution.
+    """
+
+    def __init__(self, center: np.ndarray, generators: Optional[np.ndarray] = None):
+        center = np.asarray(center, dtype=np.float64).reshape(-1)
+        if generators is None:
+            generators = np.zeros((0, center.shape[0]))
+        generators = np.asarray(generators, dtype=np.float64)
+        if generators.ndim != 2 or generators.shape[1] != center.shape[0]:
+            raise ShapeError(
+                f"generators must have shape (m, {center.shape[0]}), got "
+                f"{generators.shape}"
+            )
+        self.center = center
+        self.generators = generators
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_box(cls, box: Box) -> "Zonotope":
+        """Zonotope with one noise symbol per non-degenerate dimension."""
+        radius = box.radius
+        nonzero = np.nonzero(radius > 0)[0]
+        generators = np.zeros((nonzero.shape[0], box.dimension))
+        for row, dim in enumerate(nonzero):
+            generators[row, dim] = radius[dim]
+        return cls(box.center, generators)
+
+    @classmethod
+    def from_point(cls, point: np.ndarray) -> "Zonotope":
+        return cls(np.asarray(point, dtype=np.float64).reshape(-1))
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return int(self.center.shape[0])
+
+    @property
+    def num_generators(self) -> int:
+        return int(self.generators.shape[0])
+
+    def radius(self) -> np.ndarray:
+        """Per-dimension half-width of the bounding box."""
+        if self.num_generators == 0:
+            return np.zeros(self.dimension)
+        return np.abs(self.generators).sum(axis=0)
+
+    def to_box(self) -> Box:
+        """Tightest axis-aligned bounding box of the zonotope."""
+        radius = self.radius()
+        return Box(self.center - radius, self.center + radius)
+
+    def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
+        box = self.to_box()
+        return box.low, box.high
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def affine(self, weights: np.ndarray, bias: np.ndarray) -> "Zonotope":
+        """Exact image under ``x -> x @ weights + bias``."""
+        weights = np.asarray(weights, dtype=np.float64)
+        bias = np.asarray(bias, dtype=np.float64)
+        if weights.shape[0] != self.dimension:
+            raise ShapeError(
+                f"weight rows {weights.shape[0]} do not match zonotope dimension "
+                f"{self.dimension}"
+            )
+        return Zonotope(self.center @ weights + bias, self.generators @ weights)
+
+    def translate(self, offset: np.ndarray) -> "Zonotope":
+        offset = np.asarray(offset, dtype=np.float64).reshape(-1)
+        return Zonotope(self.center + offset, self.generators)
+
+    def relu(self) -> "Zonotope":
+        """Sound over-approximation of elementwise ReLU (DeepZ relaxation).
+
+        For a neuron with pre-activation bounds ``[l, u]``:
+
+        * ``l >= 0`` — ReLU is the identity, nothing changes;
+        * ``u <= 0`` — the output is exactly zero;
+        * otherwise — the output is over-approximated by the affine form
+          ``λ·x + μ + new_noise`` with ``λ = u/(u−l)``, ``μ = −λ·l/2`` and a
+          fresh noise symbol of magnitude ``μ``, the minimal-area parallelogram
+          enclosing the ReLU graph on ``[l, u]``.
+        """
+        low, high = self.bounds()
+        dimension = self.dimension
+        new_center = np.array(self.center, copy=True)
+        new_generators = np.array(self.generators, copy=True)
+        fresh_rows = []
+        for j in range(dimension):
+            l, u = low[j], high[j]
+            if l >= 0.0:
+                continue
+            if u <= 0.0:
+                new_center[j] = 0.0
+                if new_generators.shape[0]:
+                    new_generators[:, j] = 0.0
+                continue
+            slope = u / (u - l)
+            mu = -slope * l / 2.0
+            new_center[j] = slope * new_center[j] + mu
+            if new_generators.shape[0]:
+                new_generators[:, j] *= slope
+            fresh = np.zeros(dimension)
+            fresh[j] = mu
+            fresh_rows.append(fresh)
+        if fresh_rows:
+            new_generators = np.vstack([new_generators, np.array(fresh_rows)])
+        return Zonotope(new_center, new_generators)
+
+    def elementwise_monotone(self, bound_transform) -> "Zonotope":
+        """Sound relaxation of an arbitrary monotone elementwise function.
+
+        The zonotope is reduced to its bounding box, the activation's
+        ``bound_transform`` is applied, and the result is re-embedded as an
+        axis-aligned zonotope.  Correlations are lost but soundness is kept,
+        which is all the monitor construction requires.
+        """
+        low, high = self.bounds()
+        new_low, new_high = bound_transform(low, high)
+        return Zonotope.from_box(Box(new_low, new_high))
+
+    def reduce_generators(self, max_generators: int) -> "Zonotope":
+        """Order-reduction: merge the smallest generators into a box term.
+
+        Keeps at most ``max_generators`` rows by replacing the generators with
+        the smallest L1 norm by their interval hull (one axis-aligned
+        generator per dimension).  The result is a sound enclosure of the
+        original zonotope.
+        """
+        if max_generators < 0:
+            raise ShapeError("max_generators must be non-negative")
+        if self.num_generators <= max_generators:
+            return self
+        norms = np.abs(self.generators).sum(axis=1)
+        order = np.argsort(norms)
+        keep = max(max_generators - self.dimension, 0)
+        kept_rows = self.generators[order[self.num_generators - keep :]] if keep else np.zeros((0, self.dimension))
+        merged_rows = self.generators[order[: self.num_generators - keep]]
+        box_radius = np.abs(merged_rows).sum(axis=0)
+        box_generators = np.diag(box_radius)
+        box_generators = box_generators[box_radius > 0]
+        new_generators = np.vstack([kept_rows, box_generators]) if box_generators.size else kept_rows
+        return Zonotope(self.center, new_generators)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def sample(
+        self, count: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Sample points from the zonotope by sampling noise symbols."""
+        if rng is None:
+            rng = np.random.default_rng()
+        eps = rng.uniform(-1.0, 1.0, size=(count, self.num_generators))
+        return self.center[None, :] + eps @ self.generators
+
+    def contains_in_bounding_box(self, point: np.ndarray, tolerance: float = 1e-9) -> bool:
+        """Cheap membership test against the bounding box (sound necessary test)."""
+        return self.to_box().contains(point, tolerance=tolerance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Zonotope(dimension={self.dimension}, "
+            f"generators={self.num_generators})"
+        )

@@ -1,0 +1,244 @@
+"""Tests for the ROBDD manager: canonicity, Boolean algebra, counting."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import FALSE, TRUE, BDDManager
+from repro.exceptions import ConfigurationError
+
+
+def brute_force_truth_table(manager, ref, num_vars):
+    """Evaluate a BDD on every assignment (tiny num_vars only)."""
+    return {
+        assignment: manager.evaluate(ref, list(assignment))
+        for assignment in itertools.product([False, True], repeat=num_vars)
+    }
+
+
+class TestNodeConstruction:
+    def test_terminals_exist(self):
+        manager = BDDManager(3)
+        assert manager.is_terminal(FALSE)
+        assert manager.is_terminal(TRUE)
+        assert manager.num_nodes == 2
+
+    def test_var_and_nvar_are_complementary(self):
+        manager = BDDManager(2)
+        x0 = manager.var(0)
+        not_x0 = manager.nvar(0)
+        assert manager.apply_and(x0, not_x0) == FALSE
+        assert manager.apply_or(x0, not_x0) == TRUE
+
+    def test_hash_consing_gives_identical_nodes(self):
+        manager = BDDManager(2)
+        assert manager.var(1) == manager.var(1)
+        a = manager.apply_and(manager.var(0), manager.var(1))
+        b = manager.apply_and(manager.var(1), manager.var(0))
+        assert a == b  # canonical form: conjunction is order-independent
+
+    def test_out_of_range_variable_rejected(self):
+        manager = BDDManager(2)
+        with pytest.raises(ConfigurationError):
+            manager.var(2)
+        with pytest.raises(ConfigurationError):
+            manager.nvar(-1)
+
+    def test_negative_var_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BDDManager(-1)
+
+
+class TestBooleanAlgebra:
+    def test_ite_shortcuts(self):
+        manager = BDDManager(2)
+        x = manager.var(0)
+        y = manager.var(1)
+        assert manager.ite(TRUE, x, y) == x
+        assert manager.ite(FALSE, x, y) == y
+        assert manager.ite(x, y, y) == y
+        assert manager.ite(x, TRUE, FALSE) == x
+
+    def test_double_negation(self):
+        manager = BDDManager(3)
+        f = manager.apply_or(manager.var(0), manager.apply_and(manager.var(1), manager.nvar(2)))
+        assert manager.negate(manager.negate(f)) == f
+
+    def test_de_morgan(self):
+        manager = BDDManager(2)
+        x, y = manager.var(0), manager.var(1)
+        left = manager.negate(manager.apply_and(x, y))
+        right = manager.apply_or(manager.negate(x), manager.negate(y))
+        assert left == right
+
+    def test_xor_truth_table(self):
+        manager = BDDManager(2)
+        f = manager.apply_xor(manager.var(0), manager.var(1))
+        table = brute_force_truth_table(manager, f, 2)
+        assert table == {
+            (False, False): False,
+            (False, True): True,
+            (True, False): True,
+            (True, True): False,
+        }
+
+    def test_implies_truth_table(self):
+        manager = BDDManager(2)
+        f = manager.apply_implies(manager.var(0), manager.var(1))
+        table = brute_force_truth_table(manager, f, 2)
+        assert table[(True, False)] is False
+        assert all(value for key, value in table.items() if key != (True, False))
+
+    def test_conjoin_and_disjoin(self):
+        manager = BDDManager(3)
+        literals = [manager.var(i) for i in range(3)]
+        conj = manager.conjoin(literals)
+        disj = manager.disjoin(literals)
+        assert manager.evaluate(conj, [True, True, True])
+        assert not manager.evaluate(conj, [True, False, True])
+        assert manager.evaluate(disj, [False, True, False])
+        assert not manager.evaluate(disj, [False, False, False])
+
+    def test_conjoin_empty_is_true_disjoin_empty_is_false(self):
+        manager = BDDManager(1)
+        assert manager.conjoin([]) == TRUE
+        assert manager.disjoin([]) == FALSE
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        assignment=st.lists(st.booleans(), min_size=4, max_size=4),
+    )
+    def test_random_formula_equivalence_property(self, seed, assignment):
+        """A random formula built twice in different orders evaluates identically."""
+        rng = np.random.default_rng(seed)
+        manager = BDDManager(4)
+        literals = [
+            manager.var(i) if rng.random() < 0.5 else manager.nvar(i) for i in range(4)
+        ]
+        order = rng.permutation(4)
+        f = manager.conjoin([literals[i] for i in range(4)])
+        g = manager.conjoin([literals[i] for i in order])
+        assert f == g
+        expected = all(
+            (assignment[i] if manager.node(literals[i])[2] == TRUE else not assignment[i])
+            for i in range(4)
+        )
+        assert manager.evaluate(f, assignment) == expected
+
+
+class TestRestrictAndQuantify:
+    def test_restrict_fixes_variable(self):
+        manager = BDDManager(2)
+        f = manager.apply_and(manager.var(0), manager.var(1))
+        assert manager.restrict(f, {0: True}) == manager.var(1)
+        assert manager.restrict(f, {0: False}) == FALSE
+
+    def test_exists_removes_variable(self):
+        manager = BDDManager(2)
+        f = manager.apply_and(manager.var(0), manager.var(1))
+        assert manager.exists(f, [0]) == manager.var(1)
+
+    def test_forall_requires_both_branches(self):
+        manager = BDDManager(2)
+        f = manager.apply_or(manager.var(0), manager.var(1))
+        # For all x0: (x0 or x1) holds only when x1 holds.
+        assert manager.forall(f, [0]) == manager.var(1)
+
+    def test_exists_of_tautology_in_variable(self):
+        manager = BDDManager(1)
+        f = manager.apply_or(manager.var(0), manager.nvar(0))
+        assert manager.exists(f, [0]) == TRUE
+
+
+class TestCountingAndModels:
+    def test_count_simple_formulas(self):
+        manager = BDDManager(3)
+        assert manager.count_solutions_exact(TRUE) == 8
+        assert manager.count_solutions_exact(FALSE) == 0
+        assert manager.count_solutions_exact(manager.var(0)) == 4
+        f = manager.apply_and(manager.var(0), manager.var(2))
+        assert manager.count_solutions_exact(f) == 2
+
+    def test_count_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        manager = BDDManager(5)
+        f = FALSE
+        for _ in range(4):
+            cube = manager.cube(
+                {int(i): bool(rng.integers(0, 2)) for i in rng.choice(5, size=3, replace=False)}
+            )
+            f = manager.apply_or(f, cube)
+        brute = sum(brute_force_truth_table(manager, f, 5).values())
+        assert manager.count_solutions_exact(f) == brute
+
+    def test_iterate_models_matches_evaluation(self):
+        manager = BDDManager(3)
+        f = manager.apply_or(
+            manager.apply_and(manager.var(0), manager.nvar(1)), manager.var(2)
+        )
+        models = set(manager.iterate_models(f))
+        expected = {
+            assignment
+            for assignment, value in brute_force_truth_table(manager, f, 3).items()
+            if value
+        }
+        assert models == expected
+
+    def test_iterate_models_limit(self):
+        manager = BDDManager(4)
+        models = list(manager.iterate_models(TRUE, limit=5))
+        assert len(models) == 5
+
+    def test_evaluate_wrong_length_rejected(self):
+        manager = BDDManager(3)
+        with pytest.raises(ConfigurationError):
+            manager.evaluate(TRUE, [True])
+
+
+class TestCubes:
+    def test_cube_size_is_linear_in_constrained_bits(self):
+        """The word2set property: don't-cares never enlarge the BDD."""
+        manager = BDDManager(64)
+        cube = manager.cube({0: True, 63: False})
+        assert manager.dag_size(cube) == 2
+
+    def test_cube_semantics(self):
+        manager = BDDManager(4)
+        cube = manager.cube({1: True, 3: False})
+        assert manager.evaluate(cube, [False, True, True, False])
+        assert manager.evaluate(cube, [True, True, False, False])
+        assert not manager.evaluate(cube, [False, False, True, False])
+        assert not manager.evaluate(cube, [False, True, True, True])
+
+    def test_cube_count_accounts_for_dont_cares(self):
+        manager = BDDManager(6)
+        cube = manager.cube({0: True, 5: True})
+        assert manager.count_solutions_exact(cube) == 2**4
+
+    def test_from_assignment_has_single_model(self):
+        manager = BDDManager(5)
+        assignment = [True, False, True, True, False]
+        cube = manager.from_assignment(assignment)
+        assert manager.count_solutions_exact(cube) == 1
+        assert list(manager.iterate_models(cube)) == [tuple(assignment)]
+
+    def test_from_assignment_length_checked(self):
+        manager = BDDManager(3)
+        with pytest.raises(ConfigurationError):
+            manager.from_assignment([True])
+
+    def test_dag_size_of_terminals_is_zero(self):
+        manager = BDDManager(3)
+        assert manager.dag_size(TRUE) == 0
+        assert manager.dag_size(FALSE) == 0
+
+    def test_clear_caches_keeps_semantics(self):
+        manager = BDDManager(3)
+        f = manager.apply_and(manager.var(0), manager.var(1))
+        manager.clear_caches()
+        g = manager.apply_and(manager.var(0), manager.var(1))
+        assert f == g

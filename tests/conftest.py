@@ -1,0 +1,83 @@
+"""Shared fixtures for the test suite.
+
+Networks and datasets are deliberately tiny so that the whole suite —
+including the robust-monitor constructions that run symbolic propagation per
+training sample — executes in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset
+from repro.data.synthetic_digits import generate_digits
+from repro.data.track import TrackConfig, generate_track_dataset
+from repro.nn.layers import ActivationLayer, Dense
+from repro.nn.network import Sequential, mlp
+from repro.nn.training import train_classifier, train_regressor
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def tiny_network() -> Sequential:
+    """An untrained 6 → 10 → 8 → 3 ReLU MLP (6 layers counting activations)."""
+    return mlp(6, [10, 8], 3, activation="relu", seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_tanh_network() -> Sequential:
+    """An untrained network with tanh activations (for monotone-bound tests)."""
+    return mlp(5, [8, 6], 2, activation="tanh", seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_inputs(rng) -> np.ndarray:
+    """Small batch of inputs matching ``tiny_network``'s input dimension."""
+    return rng.uniform(-1.0, 1.0, size=(24, 6))
+
+
+@pytest.fixture(scope="session")
+def trained_digits():
+    """A small trained digit classifier plus its datasets.
+
+    Returns ``(network, train_dataset, test_dataset)``; training is short but
+    enough to make class structure visible in the hidden layers.
+    """
+    dataset = generate_digits(240, num_classes=4, seed=3)
+    train = dataset.subset(np.arange(180), name="digits-train")
+    test = dataset.subset(np.arange(180, 240), name="digits-test")
+    network = mlp(dataset.num_features, [24, 12], 4, activation="relu", seed=5)
+    train_classifier(
+        network, train.inputs, train.targets, num_classes=4, epochs=6, seed=6
+    )
+    return network, train, test
+
+
+@pytest.fixture(scope="session")
+def trained_track():
+    """A small trained waypoint regressor plus its datasets."""
+    config = TrackConfig()
+    dataset = generate_track_dataset(160, config=config, seed=9)
+    train = dataset.subset(np.arange(120), name="track-train")
+    test = dataset.subset(np.arange(120, 160), name="track-test")
+    network = mlp(dataset.num_features, [20, 12], 2, activation="relu", seed=10)
+    train_regressor(network, train.inputs, train.targets, epochs=8, seed=11)
+    return network, train, test
+
+
+@pytest.fixture
+def two_layer_affine_relu() -> Sequential:
+    """A hand-built 2-layer network with known weights for exact checks."""
+    dense1 = Dense(2)
+    dense2 = Dense(1)
+    network = Sequential(
+        [dense1, ActivationLayer("relu"), dense2], input_dim=2, seed=0
+    )
+    dense1.set_weights([np.array([[1.0, -1.0], [2.0, 1.0]]), np.array([0.0, 0.5])])
+    dense2.set_weights([np.array([[1.0], [1.0]]), np.array([-0.25])])
+    return network

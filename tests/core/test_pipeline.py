@@ -1,0 +1,113 @@
+"""Tests for end-to-end monitoring pipelines and reference workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    MonitoringWorkload,
+    MonitorPipeline,
+    build_digits_workload,
+    build_track_workload,
+    default_monitored_layer,
+)
+from repro.exceptions import ConfigurationError
+from repro.monitors.perturbation import PerturbationSpec
+from repro.nn.layers import ActivationLayer, Dense
+from repro.nn.network import Sequential, mlp
+
+
+class TestDefaultMonitoredLayer:
+    def test_last_hidden_activation_is_chosen(self):
+        network = mlp(4, [8, 6], 2, seed=0)
+        # Layers: Dense, ReLU, Dense, ReLU, Dense -> last hidden activation is 4.
+        assert default_monitored_layer(network) == 4
+
+    def test_output_activation_is_not_chosen(self):
+        network = mlp(4, [8], 2, output_activation="sigmoid", seed=0)
+        # Layers: Dense, ReLU, Dense, Sigmoid -> monitor the hidden ReLU (2).
+        assert default_monitored_layer(network) == 2
+
+    def test_network_without_activations_falls_back(self):
+        network = Sequential([Dense(4), Dense(2)], input_dim=3, seed=0)
+        assert default_monitored_layer(network) == 1
+
+    def test_single_layer_network(self):
+        network = Sequential([Dense(2)], input_dim=3, seed=0)
+        assert default_monitored_layer(network) == 1
+
+
+@pytest.fixture(scope="module")
+def track_workload():
+    return build_track_workload(num_samples=150, epochs=6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def digits_workload():
+    return build_digits_workload(num_samples=200, num_classes=3, epochs=6, seed=0)
+
+
+class TestWorkloadConstruction:
+    def test_track_workload_components(self, track_workload):
+        assert isinstance(track_workload, MonitoringWorkload)
+        assert track_workload.train.num_samples > 0
+        assert track_workload.in_odd_eval.num_samples > 0
+        assert set(track_workload.out_of_odd_eval) == {"dark", "construction", "ice"}
+        assert track_workload.network.output_dim == 2
+
+    def test_digits_workload_components(self, digits_workload):
+        assert digits_workload.network.output_dim == 3
+        assert digits_workload.train.is_classification
+
+    def test_workload_experiment_conversion(self, track_workload):
+        experiment = track_workload.experiment()
+        assert experiment.fit_inputs.shape[0] == track_workload.train.num_samples
+        assert set(experiment.out_of_odd_inputs) == set(track_workload.out_of_odd_eval)
+
+    def test_custom_scenarios(self):
+        workload = build_track_workload(
+            num_samples=80, epochs=2, scenarios=["fog"], seed=1
+        )
+        assert set(workload.out_of_odd_eval) == {"fog"}
+
+
+class TestMonitorPipeline:
+    def test_run_produces_standard_and_robust_scores(self, track_workload):
+        pipeline = MonitorPipeline(
+            track_workload,
+            family="minmax",
+            perturbation=PerturbationSpec(delta=0.02),
+        )
+        result = pipeline.run()
+        assert set(result.scores) == {"standard", "robust"}
+        assert (
+            result.score("robust").false_positive_rate
+            <= result.score("standard").false_positive_rate
+        )
+
+    def test_default_layer_selection(self, track_workload):
+        pipeline = MonitorPipeline(track_workload, family="minmax")
+        assert pipeline.layer_index == default_monitored_layer(track_workload.network)
+
+    def test_boolean_family_pipeline(self, track_workload):
+        pipeline = MonitorPipeline(
+            track_workload,
+            family="boolean",
+            perturbation=PerturbationSpec(delta=0.02),
+            thresholds="mean",
+        )
+        result = pipeline.run()
+        assert 0.0 <= result.score("robust").false_positive_rate <= 1.0
+
+    def test_zero_delta_rejected(self, track_workload):
+        with pytest.raises(ConfigurationError):
+            MonitorPipeline(
+                track_workload, family="minmax", perturbation=PerturbationSpec(delta=0.0)
+            )
+
+    def test_describe(self, track_workload):
+        pipeline = MonitorPipeline(
+            track_workload, family="interval", perturbation=PerturbationSpec(delta=0.05)
+        )
+        info = pipeline.describe()
+        assert info["family"] == "interval"
+        assert info["workload"] == "track-waypoints"

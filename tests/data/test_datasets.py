@@ -1,0 +1,140 @@
+"""Tests for the Dataset container and split utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import Dataset, train_validation_test_split
+from repro.exceptions import DataError, ShapeError
+
+
+@pytest.fixture
+def classification_dataset():
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=(60, 5))
+    labels = np.repeat(np.arange(3), 20)
+    return Dataset(inputs, labels, name="toy")
+
+
+@pytest.fixture
+def regression_dataset():
+    rng = np.random.default_rng(1)
+    inputs = rng.normal(size=(40, 4))
+    targets = rng.normal(size=(40, 2))
+    return Dataset(inputs, targets, name="reg")
+
+
+class TestConstruction:
+    def test_basic_properties(self, classification_dataset):
+        assert classification_dataset.num_samples == 60
+        assert classification_dataset.num_features == 5
+        assert len(classification_dataset) == 60
+        assert classification_dataset.is_classification
+        assert classification_dataset.num_classes == 3
+
+    def test_regression_dataset_is_not_classification(self, regression_dataset):
+        assert not regression_dataset.is_classification
+        with pytest.raises(DataError):
+            regression_dataset.num_classes
+
+    def test_higher_dimensional_inputs_are_flattened(self):
+        dataset = Dataset(np.zeros((10, 4, 4)), np.zeros(10, dtype=int))
+        assert dataset.num_features == 16
+
+    def test_sample_count_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            Dataset(np.zeros((5, 3)), np.zeros(4, dtype=int))
+
+
+class TestTransformations:
+    def test_shuffled_preserves_pairs(self, classification_dataset):
+        shuffled = classification_dataset.shuffled(seed=3)
+        assert shuffled.num_samples == classification_dataset.num_samples
+        original = {
+            (tuple(row), label)
+            for row, label in zip(classification_dataset.inputs, classification_dataset.targets)
+        }
+        permuted = {
+            (tuple(row), label) for row, label in zip(shuffled.inputs, shuffled.targets)
+        }
+        assert original == permuted
+
+    def test_shuffled_is_deterministic_for_seed(self, classification_dataset):
+        a = classification_dataset.shuffled(seed=5)
+        b = classification_dataset.shuffled(seed=5)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_subset_and_take(self, classification_dataset):
+        subset = classification_dataset.subset(np.array([0, 2, 4]))
+        assert subset.num_samples == 3
+        taken = classification_dataset.take(7)
+        assert taken.num_samples == 7
+        assert classification_dataset.take(1000).num_samples == 60
+
+    def test_take_negative_rejected(self, classification_dataset):
+        with pytest.raises(DataError):
+            classification_dataset.take(-1)
+
+    def test_split_fractions(self, classification_dataset):
+        first, second = classification_dataset.split(0.25, seed=0)
+        assert first.num_samples == 15
+        assert second.num_samples == 45
+
+    def test_split_invalid_fraction_rejected(self, classification_dataset):
+        with pytest.raises(DataError):
+            classification_dataset.split(0.0)
+        with pytest.raises(DataError):
+            classification_dataset.split(1.0)
+
+    def test_class_subset(self, classification_dataset):
+        subset = classification_dataset.class_subset(1)
+        assert subset.num_samples == 20
+        assert np.all(subset.targets == 1)
+
+    def test_class_subset_on_regression_rejected(self, regression_dataset):
+        with pytest.raises(DataError):
+            regression_dataset.class_subset(0)
+
+    def test_batches_cover_all_samples(self, classification_dataset):
+        batches = list(classification_dataset.batches(16))
+        assert sum(batch[0].shape[0] for batch in batches) == 60
+        assert batches[0][0].shape == (16, 5)
+        assert batches[-1][0].shape[0] == 60 - 3 * 16
+
+    def test_batches_invalid_size_rejected(self, classification_dataset):
+        with pytest.raises(DataError):
+            list(classification_dataset.batches(0))
+
+    def test_with_inputs_keeps_targets(self, classification_dataset):
+        new_inputs = classification_dataset.inputs * 2.0
+        derived = classification_dataset.with_inputs(new_inputs, name="scaled")
+        np.testing.assert_array_equal(derived.targets, classification_dataset.targets)
+        assert derived.name == "scaled"
+
+    def test_summary_contains_class_counts(self, classification_dataset):
+        summary = classification_dataset.summary()
+        assert summary["num_samples"] == 60
+        assert summary["class_counts"] == [20, 20, 20]
+
+
+class TestTrainValidationTestSplit:
+    def test_fractions_roughly_respected(self, classification_dataset):
+        train, validation, test = train_validation_test_split(
+            classification_dataset, 0.6, 0.2, seed=0
+        )
+        assert train.num_samples + validation.num_samples + test.num_samples == 60
+        assert abs(train.num_samples - 36) <= 1
+        assert abs(validation.num_samples - 12) <= 1
+
+    def test_no_sample_is_lost_or_duplicated(self, classification_dataset):
+        train, validation, test = train_validation_test_split(classification_dataset, seed=1)
+        combined = np.vstack([train.inputs, validation.inputs, test.inputs])
+        assert combined.shape[0] == 60
+        original_sorted = np.sort(classification_dataset.inputs.ravel())
+        combined_sorted = np.sort(combined.ravel())
+        np.testing.assert_allclose(original_sorted, combined_sorted)
+
+    def test_invalid_fractions_rejected(self, classification_dataset):
+        with pytest.raises(DataError):
+            train_validation_test_split(classification_dataset, 0.8, 0.3)
+        with pytest.raises(DataError):
+            train_validation_test_split(classification_dataset, 0.0, 0.1)

@@ -1,0 +1,128 @@
+"""Tests for in-ODD jitter and out-of-ODD scenario transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.scenarios import (
+    SCENARIOS,
+    apply_scenario,
+    construction_scenario,
+    dark_scenario,
+    fog_scenario,
+    ice_scenario,
+    in_odd_jitter,
+    occlusion_scenario,
+    scenario_suite,
+    sensor_noise_scenario,
+)
+from repro.data.track import generate_track_dataset
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def track():
+    return generate_track_dataset(30, seed=0, lighting_variation=0.0)
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_output_stays_in_unit_range(self, track, name):
+        transformed = apply_scenario(name, track, seed=0)
+        assert transformed.inputs.min() >= 0.0
+        assert transformed.inputs.max() <= 1.0
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_shape_and_targets_preserved(self, track, name):
+        transformed = apply_scenario(name, track, seed=0)
+        assert transformed.inputs.shape == track.inputs.shape
+        np.testing.assert_array_equal(transformed.targets, track.targets)
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenarios_change_the_images(self, track, name):
+        transformed = apply_scenario(name, track, seed=0)
+        assert np.abs(transformed.inputs - track.inputs).mean() > 0.01
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_deterministic_for_seed(self, track, name):
+        a = apply_scenario(name, track, seed=3)
+        b = apply_scenario(name, track, seed=3)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+
+    def test_scenario_metadata_and_name(self, track):
+        dark = dark_scenario(track, seed=0)
+        assert dark.metadata["scenario"] == "dark"
+        assert dark.name.endswith("-dark")
+
+    def test_unknown_scenario_rejected(self, track):
+        with pytest.raises(DataError):
+            apply_scenario("alien-invasion", track)
+
+    def test_non_square_inputs_rejected(self):
+        from repro.data.datasets import Dataset
+
+        dataset = Dataset(np.zeros((4, 10)), np.zeros(4, dtype=int))
+        with pytest.raises(DataError):
+            dark_scenario(dataset)
+
+
+class TestSpecificScenarios:
+    def test_dark_reduces_mean_brightness(self, track):
+        dark = dark_scenario(track, brightness=0.3, seed=0)
+        assert dark.inputs.mean() < track.inputs.mean() * 0.7
+
+    def test_fog_compresses_contrast(self, track):
+        fog = fog_scenario(track, density=0.8, seed=0)
+        assert fog.inputs.std() < track.inputs.std() * 0.6
+
+    def test_ice_increases_mean_brightness(self, track):
+        ice = ice_scenario(track, num_patches=6, patch_size=6, seed=0)
+        assert ice.inputs.mean() > track.inputs.mean()
+
+    def test_sensor_noise_increases_high_frequency_energy(self, track):
+        noisy = sensor_noise_scenario(track, noise_std=0.3, seed=0)
+        original_diff = np.abs(np.diff(track.inputs, axis=1)).mean()
+        noisy_diff = np.abs(np.diff(noisy.inputs, axis=1)).mean()
+        assert noisy_diff > original_diff * 1.5
+
+    def test_occlusion_creates_dark_band(self, track):
+        occluded = occlusion_scenario(track, band_width=6, seed=0)
+        dark_pixels = (occluded.inputs < 0.06).mean()
+        assert dark_pixels > (track.inputs < 0.06).mean() + 0.1
+
+    def test_construction_adds_extreme_pixels(self, track):
+        built = construction_scenario(track, num_obstacles=4, obstacle_size=4, seed=0)
+        assert (built.inputs > 0.95).mean() >= (track.inputs > 0.95).mean()
+
+    def test_in_odd_jitter_is_small(self, track):
+        jittered = in_odd_jitter(track, brightness_std=0.02, noise_std=0.005, seed=0)
+        assert np.abs(jittered.inputs - track.inputs).mean() < 0.05
+
+    def test_invalid_parameters_rejected(self, track):
+        with pytest.raises(DataError):
+            dark_scenario(track, brightness=1.5)
+        with pytest.raises(DataError):
+            construction_scenario(track, num_obstacles=0)
+        with pytest.raises(DataError):
+            ice_scenario(track, patch_size=0)
+        with pytest.raises(DataError):
+            fog_scenario(track, density=2.0)
+        with pytest.raises(DataError):
+            sensor_noise_scenario(track, noise_std=0.0)
+        with pytest.raises(DataError):
+            occlusion_scenario(track, band_width=0)
+        with pytest.raises(DataError):
+            in_odd_jitter(track, brightness_std=-0.1)
+
+
+class TestScenarioSuite:
+    def test_default_suite_is_the_paper_triple(self, track):
+        suite = scenario_suite(track, seed=0)
+        assert set(suite) == {"dark", "construction", "ice"}
+
+    def test_custom_suite(self, track):
+        suite = scenario_suite(track, names=["fog", "occlusion"], seed=0)
+        assert set(suite) == {"fog", "occlusion"}
+
+    def test_suite_entries_are_distinct_datasets(self, track):
+        suite = scenario_suite(track, seed=0)
+        assert not np.array_equal(suite["dark"].inputs, suite["ice"].inputs)

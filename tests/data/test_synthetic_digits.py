@@ -1,0 +1,113 @@
+"""Tests for the procedural digit dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_digits import (
+    IMAGE_SIZE,
+    digit_template,
+    generate_digits,
+    generate_novel_glyphs,
+    render_digit,
+)
+from repro.exceptions import DataError
+from repro.nn.network import mlp
+from repro.nn.training import accuracy, train_classifier
+
+
+class TestRendering:
+    def test_digit_template_known_segments(self):
+        assert set(digit_template(1)) == {"top_right", "bottom_right"}
+        assert len(digit_template(8)) == 7
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(DataError):
+            digit_template(10)
+
+    def test_rendered_image_shape_and_range(self):
+        image = render_digit(3, rng=np.random.default_rng(0))
+        assert image.shape == (IMAGE_SIZE, IMAGE_SIZE)
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_different_digits_render_differently(self):
+        rng = np.random.default_rng(0)
+        one = render_digit(1, rng=rng, noise=0.0, jitter=0.0)
+        eight = render_digit(8, rng=rng, noise=0.0, jitter=0.0)
+        assert np.abs(one - eight).sum() > 1.0
+
+    def test_same_digit_with_zero_noise_is_similar(self):
+        a = render_digit(5, rng=np.random.default_rng(1), noise=0.0, jitter=0.0)
+        b = render_digit(5, rng=np.random.default_rng(2), noise=0.0, jitter=0.0)
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+
+class TestGeneration:
+    def test_dataset_shape_and_balance(self):
+        dataset = generate_digits(100, num_classes=5, seed=0)
+        assert dataset.num_samples == 100
+        assert dataset.num_features == IMAGE_SIZE * IMAGE_SIZE
+        counts = np.bincount(dataset.targets, minlength=5)
+        assert counts.tolist() == [20] * 5
+
+    def test_determinism_for_seed(self):
+        a = generate_digits(30, num_classes=3, seed=7)
+        b = generate_digits(30, num_classes=3, seed=7)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+    def test_different_seeds_differ(self):
+        a = generate_digits(30, num_classes=3, seed=1)
+        b = generate_digits(30, num_classes=3, seed=2)
+        assert not np.array_equal(a.inputs, b.inputs)
+
+    def test_variability_zero_gives_clean_templates(self):
+        dataset = generate_digits(20, num_classes=2, variability=0.0, seed=0)
+        class0 = dataset.inputs[dataset.targets == 0]
+        assert np.allclose(class0.std(axis=0), 0.0, atol=1e-9)
+
+    def test_metadata_records_parameters(self):
+        dataset = generate_digits(10, num_classes=2, seed=3)
+        assert dataset.metadata["num_classes"] == 2
+        assert dataset.metadata["seed"] == 3
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DataError):
+            generate_digits(0)
+        with pytest.raises(DataError):
+            generate_digits(10, num_classes=1)
+        with pytest.raises(DataError):
+            generate_digits(10, num_classes=11)
+        with pytest.raises(DataError):
+            generate_digits(10, variability=-1.0)
+
+    def test_classes_are_learnable(self):
+        """A small MLP separates the synthetic classes — the datasets carry signal."""
+        dataset = generate_digits(200, num_classes=3, seed=11)
+        network = mlp(dataset.num_features, [24], 3, seed=12)
+        train_classifier(
+            network, dataset.inputs, dataset.targets, num_classes=3, epochs=8, seed=13
+        )
+        assert accuracy(network, dataset.inputs, dataset.targets) > 0.8
+
+
+class TestNovelGlyphs:
+    def test_generation_shape(self):
+        glyphs = generate_novel_glyphs(25, seed=0)
+        assert glyphs.num_samples == 25
+        assert glyphs.num_features == IMAGE_SIZE * IMAGE_SIZE
+
+    def test_glyphs_differ_from_digits(self):
+        digits = generate_digits(50, num_classes=5, variability=0.0, seed=0)
+        glyphs = generate_novel_glyphs(50, variability=0.0, seed=0)
+        digit_mean = digits.inputs.mean(axis=0)
+        glyph_mean = glyphs.inputs.mean(axis=0)
+        assert np.abs(digit_mean - glyph_mean).sum() > 1.0
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DataError):
+            generate_novel_glyphs(0)
+
+    def test_metadata_lists_glyphs(self):
+        glyphs = generate_novel_glyphs(5, seed=0)
+        assert "X" in glyphs.metadata["glyphs"]

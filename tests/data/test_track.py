@@ -1,0 +1,98 @@
+"""Tests for the synthetic race-track image/waypoint generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.track import TrackConfig, generate_track_dataset, render_track_image
+from repro.exceptions import DataError
+from repro.nn.network import mlp
+from repro.nn.training import train_regressor
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = TrackConfig()
+        assert config.image_size == 16
+        assert config.offset_range[0] < config.offset_range[1]
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(DataError):
+            TrackConfig(image_size=4)
+        with pytest.raises(DataError):
+            TrackConfig(road_width=0.0)
+        with pytest.raises(DataError):
+            TrackConfig(offset_range=(0.7, 0.3))
+        with pytest.raises(DataError):
+            TrackConfig(heading_range=(0.5, -0.5))
+
+
+class TestRendering:
+    def test_image_shape_and_range(self):
+        image = render_track_image(0.5, 0.0, rng=np.random.default_rng(0))
+        assert image.shape == (16, 16)
+        assert 0.0 <= image.min() and image.max() <= 1.0
+
+    def test_road_offset_moves_bright_column(self):
+        config = TrackConfig(noise=0.0, lane_marking=False)
+        left = render_track_image(0.3, 0.0, config, rng=np.random.default_rng(0))
+        right = render_track_image(0.7, 0.0, config, rng=np.random.default_rng(0))
+        # Bottom row brightness centroid follows the offset.
+        columns = np.arange(16) + 0.5
+        left_centroid = (left[-1] * columns).sum() / left[-1].sum()
+        right_centroid = (right[-1] * columns).sum() / right[-1].sum()
+        assert left_centroid < right_centroid
+
+    def test_brightness_scale_darkens_image(self):
+        config = TrackConfig(noise=0.0)
+        normal = render_track_image(0.5, 0.0, config, rng=np.random.default_rng(0))
+        dark = render_track_image(
+            0.5, 0.0, config, rng=np.random.default_rng(0), brightness_scale=0.3
+        )
+        assert dark.mean() < normal.mean() * 0.5
+
+    def test_heading_bends_road(self):
+        config = TrackConfig(noise=0.0, lane_marking=False)
+        straight = render_track_image(0.5, 0.0, config, rng=np.random.default_rng(0))
+        bent = render_track_image(0.5, 0.4, config, rng=np.random.default_rng(0))
+        # The top rows differ while the bottom rows stay similar.
+        assert np.abs(straight[0] - bent[0]).sum() > np.abs(straight[-1] - bent[-1]).sum()
+
+
+class TestGeneration:
+    def test_dataset_shapes(self):
+        dataset = generate_track_dataset(50, seed=0)
+        assert dataset.num_samples == 50
+        assert dataset.num_features == 256
+        assert dataset.targets.shape == (50, 2)
+
+    def test_targets_in_normalised_range(self):
+        dataset = generate_track_dataset(80, seed=1)
+        assert np.all(dataset.targets >= 0.0) and np.all(dataset.targets <= 1.0)
+
+    def test_determinism_for_seed(self):
+        a = generate_track_dataset(20, seed=5)
+        b = generate_track_dataset(20, seed=5)
+        np.testing.assert_array_equal(a.inputs, b.inputs)
+        np.testing.assert_array_equal(a.targets, b.targets)
+
+    def test_metadata(self):
+        dataset = generate_track_dataset(10, seed=2, lighting_variation=0.2)
+        assert dataset.metadata["lighting_variation"] == 0.2
+        assert dataset.metadata["generator"] == "track"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DataError):
+            generate_track_dataset(0)
+        with pytest.raises(DataError):
+            generate_track_dataset(10, lighting_variation=-0.1)
+
+    def test_waypoints_are_learnable(self):
+        """A small MLP regresses the waypoints to reasonable accuracy."""
+        dataset = generate_track_dataset(200, seed=3, lighting_variation=0.05)
+        network = mlp(dataset.num_features, [24], 2, seed=4)
+        train_regressor(network, dataset.inputs, dataset.targets, epochs=15, seed=5)
+        predictions = network.forward(dataset.inputs)
+        mse = float(np.mean((predictions - dataset.targets) ** 2))
+        # Predicting the mean target everywhere gives roughly the target variance.
+        baseline = float(np.mean(np.var(dataset.targets, axis=0)))
+        assert mse < baseline * 0.7

@@ -1,0 +1,117 @@
+"""Tests for monitorability / abstraction-coverage metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.coverage import (
+    MonitorabilityReport,
+    envelope_occupancy,
+    monitorability_report,
+    neuron_saturation,
+    pattern_space_coverage,
+)
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.monitors.boolean import BooleanPatternMonitor, RobustBooleanPatternMonitor
+from repro.monitors.interval import IntervalPatternMonitor
+from repro.monitors.minmax import MinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+
+
+class TestPatternSpaceCoverage:
+    def test_coverage_between_zero_and_one(self, tiny_network, tiny_inputs):
+        monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        coverage = pattern_space_coverage(monitor)
+        assert 0.0 < coverage <= 1.0
+
+    def test_robust_monitor_has_higher_coverage(self, tiny_network, tiny_inputs):
+        """The robust abstraction is a superset, so it covers more of the space."""
+        standard = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        robust = RobustBooleanPatternMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.2), thresholds="mean"
+        ).fit(tiny_inputs)
+        assert pattern_space_coverage(robust) >= pattern_space_coverage(standard)
+
+    def test_interval_monitor_coverage_is_tiny(self, tiny_network, tiny_inputs):
+        monitor = IntervalPatternMonitor(tiny_network, 4, num_cuts=3).fit(tiny_inputs)
+        coverage = pattern_space_coverage(monitor)
+        # 8 monitored neurons x 2 bits = 2^16 representable words, <= 24 stored.
+        assert coverage < 1e-3
+
+    def test_requires_pattern_monitor(self, tiny_network, tiny_inputs):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        with pytest.raises(ConfigurationError):
+            pattern_space_coverage(minmax)
+
+    def test_requires_fitted_monitor(self, tiny_network):
+        with pytest.raises(NotFittedError):
+            pattern_space_coverage(BooleanPatternMonitor(tiny_network, 4))
+
+
+class TestEnvelopeOccupancy:
+    def test_occupancy_of_reference_range(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        reference_low = monitor.lower - 1.0
+        reference_high = monitor.upper + 1.0
+        occupancy = envelope_occupancy(monitor, reference_low, reference_high)
+        assert 0.0 < occupancy < 1.0
+
+    def test_envelope_equal_to_reference_has_full_occupancy(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        occupancy = envelope_occupancy(monitor, monitor.lower, monitor.upper)
+        assert occupancy == pytest.approx(1.0)
+
+    def test_dimension_mismatch_rejected(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        with pytest.raises(ConfigurationError):
+            envelope_occupancy(monitor, np.zeros(2), np.ones(2))
+
+    def test_requires_minmax_monitor(self, tiny_network, tiny_inputs):
+        boolean = BooleanPatternMonitor(tiny_network, 4).fit(tiny_inputs)
+        with pytest.raises(ConfigurationError):
+            envelope_occupancy(boolean, np.zeros(16), np.ones(16))
+
+
+class TestNeuronSaturation:
+    def test_saturation_bounds(self, tiny_network, tiny_inputs):
+        monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        saturation = neuron_saturation(monitor)
+        assert 0.0 <= saturation <= 1.0
+
+    def test_zero_threshold_relu_layer_is_heavily_saturated(self, tiny_network, tiny_inputs):
+        """With threshold 0 on a ReLU layer, dead neurons are constant-0 bits."""
+        zero_monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="zero").fit(tiny_inputs)
+        mean_monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        assert neuron_saturation(zero_monitor) >= neuron_saturation(mean_monitor)
+
+    def test_requires_pattern_monitor(self, tiny_network, tiny_inputs):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        with pytest.raises(ConfigurationError):
+            neuron_saturation(minmax)
+
+
+class TestMonitorabilityReport:
+    def test_report_fields(self, tiny_network, tiny_inputs):
+        monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        report = monitorability_report(monitor)
+        assert isinstance(report, MonitorabilityReport)
+        assert report.pattern_count == monitor.pattern_count()
+        assert report.bdd_nodes == monitor.bdd_size()
+        assert 0.0 <= report.monitorability <= 1.0
+        data = report.as_dict()
+        assert set(data) == {
+            "coverage",
+            "saturation",
+            "pattern_count",
+            "bdd_nodes",
+            "monitorability",
+        }
+
+    def test_saturated_abstraction_scores_zero(self):
+        report = MonitorabilityReport(coverage=1.0, saturation=0.0, pattern_count=1, bdd_nodes=1)
+        assert report.monitorability == 0.0
+        report = MonitorabilityReport(coverage=0.0, saturation=1.0, pattern_count=1, bdd_nodes=1)
+        assert report.monitorability == 0.0
+
+    def test_discriminative_abstraction_scores_high(self):
+        report = MonitorabilityReport(coverage=0.001, saturation=0.1, pattern_count=50, bdd_nodes=100)
+        assert report.monitorability > 0.85

@@ -1,0 +1,109 @@
+"""Tests for the MonitorExperiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.data.perturbations import perturb_dataset_inputs
+from repro.eval.experiments import ExperimentResult, MonitorExperiment, compare_monitors
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.monitors.builder import MonitorBuilder
+from repro.monitors.minmax import MinMaxMonitor, RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+
+
+@pytest.fixture
+def experiment(tiny_network, tiny_inputs, rng):
+    in_odd = perturb_dataset_inputs(tiny_inputs, 0.02, rng=np.random.default_rng(1))
+    out_of_odd = {
+        "far": tiny_inputs + 10.0,
+        "scaled": tiny_inputs * 8.0,
+    }
+    return MonitorExperiment(tiny_network, tiny_inputs, in_odd, out_of_odd)
+
+
+class TestConstruction:
+    def test_empty_fit_set_rejected(self, tiny_network, tiny_inputs):
+        with pytest.raises(ShapeError):
+            MonitorExperiment(
+                tiny_network, np.zeros((0, 6)), tiny_inputs, {"far": tiny_inputs}
+            )
+
+    def test_missing_scenarios_rejected(self, tiny_network, tiny_inputs):
+        with pytest.raises(ConfigurationError):
+            MonitorExperiment(tiny_network, tiny_inputs, tiny_inputs, {})
+
+
+class TestRun:
+    def test_run_fits_and_scores_monitors(self, experiment, tiny_network):
+        result = experiment.run(
+            {
+                "standard": MinMaxMonitor(tiny_network, 4),
+                "robust": RobustMinMaxMonitor(
+                    tiny_network, 4, PerturbationSpec(delta=0.02)
+                ),
+            }
+        )
+        assert set(result.scores) == {"standard", "robust"}
+        robust_score = result.score("robust")
+        assert robust_score.false_positive_rate == 0.0
+        assert 0.0 <= robust_score.mean_detection_rate <= 1.0
+
+    def test_robust_fp_not_worse_than_standard(self, experiment, tiny_network):
+        result = compare_monitors(
+            experiment,
+            MinMaxMonitor(tiny_network, 4),
+            RobustMinMaxMonitor(tiny_network, 4, PerturbationSpec(delta=0.02)),
+        )
+        assert (
+            result.score("robust").false_positive_rate
+            <= result.score("standard").false_positive_rate
+        )
+        assert 0.0 <= result.false_positive_reduction("standard", "robust") <= 1.0
+
+    def test_run_builders(self, experiment):
+        result = experiment.run_builders(
+            {
+                "standard": MonitorBuilder("minmax", 4),
+                "robust": MonitorBuilder(
+                    "minmax", 4, perturbation=PerturbationSpec(delta=0.02)
+                ),
+            }
+        )
+        assert set(result.scores) == {"standard", "robust"}
+
+    def test_prefitted_monitor_is_not_refitted(self, experiment, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs[:5])
+        experiment.run({"prefit": monitor})
+        assert monitor.num_training_samples == 5
+
+    def test_invalid_monitor_object_rejected(self, experiment):
+        with pytest.raises(ConfigurationError):
+            experiment.run({"bogus": object()})
+
+    def test_detection_rate_change(self, experiment, tiny_network):
+        result = experiment.run(
+            {
+                "standard": MinMaxMonitor(tiny_network, 4),
+                "robust": RobustMinMaxMonitor(
+                    tiny_network, 4, PerturbationSpec(delta=0.02)
+                ),
+            }
+        )
+        change = result.detection_rate_change("standard", "robust")
+        assert -1.0 <= change <= 1.0
+
+
+class TestResultFormatting:
+    def test_format_produces_table(self, experiment, tiny_network):
+        result = experiment.run({"standard": MinMaxMonitor(tiny_network, 4)})
+        text = result.format(title="demo")
+        assert "demo" in text
+        assert "standard" in text
+        assert "detect[far]" in text
+
+    def test_unknown_monitor_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentResult().score("missing")
+
+    def test_empty_result_format(self):
+        assert "no monitors" in ExperimentResult().format()

@@ -1,0 +1,99 @@
+"""Tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    ConfusionCounts,
+    confusion_counts,
+    detection_rate,
+    false_positive_rate,
+    reduction_factor,
+    score_monitor,
+)
+from repro.exceptions import ShapeError
+
+
+class TestRates:
+    def test_false_positive_rate(self):
+        assert false_positive_rate([False, False, True, False]) == 0.25
+
+    def test_detection_rate(self):
+        assert detection_rate([True, True, False, True]) == 0.75
+
+    def test_rates_reject_empty_input(self):
+        with pytest.raises(ShapeError):
+            false_positive_rate([])
+        with pytest.raises(ShapeError):
+            detection_rate(np.zeros(0, dtype=bool))
+
+    def test_reduction_factor_matches_paper_headline(self):
+        """0.62% -> 0.125% is the paper's ~80% false-positive reduction."""
+        assert reduction_factor(0.0062, 0.00125) == pytest.approx(0.798, abs=0.01)
+
+    def test_reduction_factor_zero_baseline(self):
+        assert reduction_factor(0.0, 0.0) == 0.0
+
+    def test_reduction_factor_negative_rates_rejected(self):
+        with pytest.raises(ShapeError):
+            reduction_factor(-0.1, 0.0)
+
+
+class TestConfusion:
+    def test_counts_and_derived_metrics(self):
+        counts = confusion_counts(
+            in_odd_warnings=[False, False, True, False],
+            out_of_odd_warnings=[True, True, False, True],
+        )
+        assert counts.false_positives == 1
+        assert counts.true_negatives == 3
+        assert counts.true_positives == 3
+        assert counts.false_negatives == 1
+        assert counts.total == 8
+        assert counts.precision == pytest.approx(3 / 4)
+        assert counts.recall == pytest.approx(3 / 4)
+        assert counts.f1 == pytest.approx(3 / 4)
+        assert counts.accuracy == pytest.approx(6 / 8)
+
+    def test_degenerate_precision_recall(self):
+        counts = ConfusionCounts(0, 0, 5, 5)
+        assert counts.precision == 0.0
+        assert counts.recall == 0.0
+        assert counts.f1 == 0.0
+
+    def test_as_dict_keys(self):
+        counts = ConfusionCounts(1, 2, 3, 4)
+        data = counts.as_dict()
+        assert set(data) >= {"precision", "recall", "f1", "accuracy"}
+
+    def test_empty_sets_rejected(self):
+        with pytest.raises(ShapeError):
+            confusion_counts([], [True])
+
+
+class TestMonitorScore:
+    def test_score_monitor_aggregates_scenarios(self):
+        score = score_monitor(
+            "standard",
+            in_odd_warnings=[False] * 99 + [True],
+            scenario_warnings={
+                "dark": [True] * 9 + [False],
+                "ice": [True] * 5 + [False] * 5,
+            },
+        )
+        assert score.false_positive_rate == pytest.approx(0.01)
+        assert score.detection_rates["dark"] == pytest.approx(0.9)
+        assert score.detection_rates["ice"] == pytest.approx(0.5)
+        assert score.mean_detection_rate == pytest.approx(0.7)
+        assert score.confusion.true_positives == 14
+
+    def test_score_monitor_requires_scenarios(self):
+        with pytest.raises(ShapeError):
+            score_monitor("x", [False], {})
+
+    def test_as_dict_contains_rates(self):
+        score = score_monitor("m", [False, True], {"dark": [True, True]})
+        data = score.as_dict()
+        assert data["name"] == "m"
+        assert data["false_positive_rate"] == pytest.approx(0.5)
+        assert data["detection_rates"]["dark"] == 1.0

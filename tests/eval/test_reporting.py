@@ -1,0 +1,57 @@
+"""Tests for plain-text table formatting."""
+
+from repro.eval.reporting import format_rate, format_results_table, format_table
+
+
+class TestFormatRate:
+    def test_percentage_formatting(self):
+        assert format_rate(0.0062) == "0.620%"
+        assert format_rate(0.00125) == "0.125%"
+        assert format_rate(1.0) == "100.000%"
+
+    def test_digits_parameter(self):
+        assert format_rate(0.5, digits=1) == "50.0%"
+
+    def test_none_becomes_dash(self):
+        assert format_rate(None) == "-"
+
+
+class TestFormatTable:
+    def test_columns_are_aligned(self):
+        table = format_table(
+            ["name", "value"],
+            [["standard", 0.0062], ["robust", 0.00125]],
+            title="results",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "results"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data lines have the same width.
+        assert len(set(len(line) for line in lines[2:])) <= 2
+
+    def test_none_cells_become_dash(self):
+        table = format_table(["a"], [[None]])
+        assert "-" in table.splitlines()[-1]
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in table
+
+    def test_integers_and_strings_pass_through(self):
+        table = format_table(["n", "label"], [[3, "dark"]])
+        assert "3" in table and "dark" in table
+
+
+class TestFormatResultsTable:
+    def test_selects_requested_columns(self):
+        results = [
+            {"monitor": "standard", "fp": 0.0062, "extra": "ignored"},
+            {"monitor": "robust", "fp": 0.00125},
+        ]
+        table = format_results_table(results, ["monitor", "fp"])
+        assert "standard" in table and "robust" in table
+        assert "ignored" not in table
+
+    def test_missing_keys_become_dash(self):
+        table = format_results_table([{"a": 1}], ["a", "b"])
+        assert "-" in table.splitlines()[-1]

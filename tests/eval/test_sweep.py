@@ -1,0 +1,83 @@
+"""Tests for parameter sweeps over monitor construction knobs."""
+
+import numpy as np
+import pytest
+
+from repro.data.perturbations import perturb_dataset_inputs
+from repro.eval.experiments import MonitorExperiment
+from repro.eval.sweep import bit_width_sweep, delta_sweep, layer_sweep, method_sweep
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def experiment(tiny_network, tiny_inputs):
+    in_odd = perturb_dataset_inputs(tiny_inputs, 0.02, rng=np.random.default_rng(2))
+    out_of_odd = {"far": tiny_inputs + 10.0}
+    return MonitorExperiment(tiny_network, tiny_inputs, in_odd, out_of_odd)
+
+
+class TestDeltaSweep:
+    def test_rows_per_delta(self, experiment):
+        rows = delta_sweep(experiment, "minmax", 4, deltas=[0.0, 0.02, 0.05])
+        assert len(rows) == 3
+        assert [row["delta"] for row in rows] == [0.0, 0.02, 0.05]
+        for row in rows:
+            assert 0.0 <= row["false_positive_rate"] <= 1.0
+            assert "detect[far]" in row
+
+    def test_fp_rate_non_increasing_in_delta(self, experiment):
+        rows = delta_sweep(experiment, "minmax", 4, deltas=[0.0, 0.02, 0.05])
+        rates = [row["false_positive_rate"] for row in rows]
+        assert rates[0] >= rates[-1]
+
+    def test_matching_delta_gives_zero_fp(self, experiment):
+        rows = delta_sweep(experiment, "minmax", 4, deltas=[0.02])
+        assert rows[0]["false_positive_rate"] == 0.0
+
+    def test_empty_deltas_rejected(self, experiment):
+        with pytest.raises(ConfigurationError):
+            delta_sweep(experiment, "minmax", 4, deltas=[])
+
+
+class TestMethodSweep:
+    def test_rows_per_method(self, experiment):
+        rows = method_sweep(
+            experiment, "minmax", 4, delta=0.02, methods=("box", "zonotope")
+        )
+        assert [row["method"] for row in rows] == ["box", "zonotope"]
+        for row in rows:
+            assert row["false_positive_rate"] == 0.0
+
+    def test_zero_delta_rejected(self, experiment):
+        with pytest.raises(ConfigurationError):
+            method_sweep(experiment, "minmax", 4, delta=0.0)
+
+
+class TestBitWidthSweep:
+    def test_standard_sweep(self, experiment):
+        rows = bit_width_sweep(experiment, 4, cut_counts=(1, 3))
+        assert [row["bits"] for row in rows] == [1, 2]
+        assert all(row["robust"] is False for row in rows)
+
+    def test_robust_sweep(self, experiment):
+        rows = bit_width_sweep(experiment, 4, cut_counts=(1, 3), delta=0.02)
+        assert all(row["robust"] is True for row in rows)
+        assert all(row["false_positive_rate"] == 0.0 for row in rows)
+
+    def test_empty_cut_counts_rejected(self, experiment):
+        with pytest.raises(ConfigurationError):
+            bit_width_sweep(experiment, 4, cut_counts=())
+
+
+class TestLayerSweep:
+    def test_rows_per_layer(self, experiment):
+        rows = layer_sweep(experiment, "minmax", layer_indices=[2, 4])
+        assert [row["layer_index"] for row in rows] == [2, 4]
+
+    def test_robust_layer_sweep(self, experiment):
+        rows = layer_sweep(experiment, "minmax", layer_indices=[4], delta=0.02)
+        assert rows[0]["false_positive_rate"] == 0.0
+
+    def test_empty_layers_rejected(self, experiment):
+        with pytest.raises(ConfigurationError):
+            layer_sweep(experiment, "minmax", layer_indices=[])

@@ -1,0 +1,119 @@
+"""Integration tests exercising the full stack on both reference workloads.
+
+These tests reproduce, at reduced scale, the qualitative claims of Section IV:
+the robust monitor has a false-positive rate no worse than the standard
+monitor on in-ODD data while keeping a useful detection rate on the
+out-of-ODD scenarios, and the Lemma 1 guarantee holds end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_digits_workload, build_track_workload, default_monitored_layer
+from repro.data.perturbations import perturb_dataset_inputs
+from repro.data.synthetic_digits import generate_novel_glyphs
+from repro.eval.experiments import MonitorExperiment
+from repro.monitors.boolean import BooleanPatternMonitor, RobustBooleanPatternMonitor
+from repro.monitors.builder import ClassConditionalMonitor, MonitorBuilder
+from repro.monitors.minmax import MinMaxMonitor, RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+
+DELTA = 0.005
+
+
+@pytest.fixture(scope="module")
+def track_workload():
+    return build_track_workload(num_samples=240, epochs=8, seed=10)
+
+
+@pytest.fixture(scope="module")
+def track_experiment(track_workload):
+    """Experiment whose in-ODD set includes Δ-perturbed training scenes."""
+    rng = np.random.default_rng(0)
+    perturbed_training = perturb_dataset_inputs(
+        track_workload.train.inputs, DELTA, rng=rng
+    )
+    in_odd = np.vstack([perturbed_training, track_workload.in_odd_eval.inputs])
+    return MonitorExperiment(
+        track_workload.network,
+        track_workload.train.inputs,
+        in_odd,
+        {name: data.inputs for name, data in track_workload.out_of_odd_eval.items()},
+    )
+
+
+class TestTrackWorkloadEndToEnd:
+    def test_robust_minmax_removes_false_positives_on_perturbed_training_data(
+        self, track_workload, track_experiment
+    ):
+        network = track_workload.network
+        layer = default_monitored_layer(network)
+        standard = MinMaxMonitor(network, layer)
+        robust = RobustMinMaxMonitor(network, layer, PerturbationSpec(delta=DELTA))
+        result = track_experiment.run({"standard": standard, "robust": robust})
+        standard_score = result.score("standard")
+        robust_score = result.score("robust")
+        # Lemma 1: the Δ-perturbed training scenes can never warn, so the
+        # robust FP rate is bounded by the share of genuinely held-out scenes.
+        assert robust_score.false_positive_rate <= standard_score.false_positive_rate
+        # Detection must remain useful (the dark scenario is the easiest).
+        assert robust_score.detection_rates["dark"] > 0.5
+
+    def test_robust_boolean_monitor_behaviour(self, track_workload, track_experiment):
+        network = track_workload.network
+        layer = default_monitored_layer(network)
+        standard = BooleanPatternMonitor(network, layer, thresholds="mean")
+        robust = RobustBooleanPatternMonitor(
+            network, layer, PerturbationSpec(delta=DELTA), thresholds="mean"
+        )
+        result = track_experiment.run({"standard": standard, "robust": robust})
+        assert (
+            result.score("robust").false_positive_rate
+            <= result.score("standard").false_positive_rate
+        )
+
+    def test_perturbed_training_scenes_never_warn(self, track_workload):
+        """Direct Lemma-1 check on the deployed pipeline."""
+        network = track_workload.network
+        layer = default_monitored_layer(network)
+        robust = RobustMinMaxMonitor(network, layer, PerturbationSpec(delta=DELTA))
+        robust.fit(track_workload.train.inputs)
+        rng = np.random.default_rng(5)
+        perturbed = perturb_dataset_inputs(track_workload.train.inputs[:50], DELTA, rng=rng)
+        assert robust.warning_rate(perturbed) == 0.0
+
+
+class TestDigitsWorkloadEndToEnd:
+    @pytest.fixture(scope="class")
+    def digits(self):
+        return build_digits_workload(num_samples=240, num_classes=4, epochs=8, seed=20)
+
+    def test_class_conditional_monitor_detects_novel_glyphs(self, digits):
+        network = digits.network
+        layer = default_monitored_layer(network)
+        monitor = ClassConditionalMonitor(
+            MonitorBuilder("minmax", layer), num_classes=4
+        )
+        monitor.fit(network, digits.train.inputs)
+        glyphs = generate_novel_glyphs(60, seed=30)
+        detection = monitor.warning_rate(glyphs.inputs)
+        in_odd_rate = monitor.warning_rate(digits.train.inputs)
+        assert in_odd_rate == 0.0
+        assert detection > in_odd_rate
+
+    def test_robust_monitor_on_digits_scenarios(self, digits):
+        network = digits.network
+        layer = default_monitored_layer(network)
+        experiment = digits.experiment()
+        result = experiment.run_builders(
+            {
+                "standard": MonitorBuilder("minmax", layer),
+                "robust": MonitorBuilder(
+                    "minmax", layer, perturbation=PerturbationSpec(delta=DELTA)
+                ),
+            }
+        )
+        assert (
+            result.score("robust").false_positive_rate
+            <= result.score("standard").false_positive_rate
+        )

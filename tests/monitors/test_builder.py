@@ -1,0 +1,157 @@
+"""Tests for MonitorBuilder and ClassConditionalMonitor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.monitors.boolean import BooleanPatternMonitor, RobustBooleanPatternMonitor
+from repro.monitors.builder import MONITOR_FAMILIES, ClassConditionalMonitor, MonitorBuilder
+from repro.monitors.interval import IntervalPatternMonitor, RobustIntervalPatternMonitor
+from repro.monitors.minmax import MinMaxMonitor, RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+
+
+class TestMonitorBuilder:
+    @pytest.mark.parametrize(
+        "family, expected_class",
+        [("minmax", MinMaxMonitor), ("boolean", BooleanPatternMonitor), ("interval", IntervalPatternMonitor)],
+    )
+    def test_standard_families(self, family, expected_class, tiny_network):
+        monitor = MonitorBuilder(family, 4).build(tiny_network)
+        assert isinstance(monitor, expected_class)
+        assert not monitor.is_fitted
+
+    @pytest.mark.parametrize(
+        "family, expected_class",
+        [
+            ("minmax", RobustMinMaxMonitor),
+            ("boolean", RobustBooleanPatternMonitor),
+            ("interval", RobustIntervalPatternMonitor),
+        ],
+    )
+    def test_robust_families(self, family, expected_class, tiny_network):
+        builder = MonitorBuilder(family, 4, perturbation=PerturbationSpec(delta=0.05))
+        monitor = builder.build(tiny_network)
+        assert isinstance(monitor, expected_class)
+        assert builder.is_robust
+
+    def test_build_and_fit(self, tiny_network, tiny_inputs):
+        monitor = MonitorBuilder("minmax", 4).build_and_fit(tiny_network, tiny_inputs)
+        assert monitor.is_fitted
+        assert not np.any(monitor.warn_batch(tiny_inputs))
+
+    def test_options_are_forwarded(self, tiny_network, tiny_inputs):
+        monitor = MonitorBuilder(
+            "interval", 4, num_cuts=7, cut_strategy="equal_width"
+        ).build_and_fit(tiny_network, tiny_inputs)
+        assert monitor.num_cuts == 7
+        assert monitor.bits_per_neuron == 3
+
+    def test_enlargement_option_dropped_for_robust_minmax(self, tiny_network):
+        builder = MonitorBuilder(
+            "minmax", 4, perturbation=PerturbationSpec(delta=0.05), enlargement=0.1
+        )
+        monitor = builder.build(tiny_network)
+        assert isinstance(monitor, RobustMinMaxMonitor)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MonitorBuilder("gaussian", 4)
+
+    def test_families_constant(self):
+        assert set(MONITOR_FAMILIES) == {"minmax", "boolean", "interval"}
+
+    def test_describe(self, tiny_network):
+        builder = MonitorBuilder(
+            "boolean", 3, perturbation=PerturbationSpec(delta=0.1), thresholds="mean"
+        )
+        info = builder.describe()
+        assert info["family"] == "boolean"
+        assert info["robust"] is True
+        assert info["options"]["thresholds"] == "mean"
+
+
+class TestClassConditionalMonitor:
+    @pytest.fixture
+    def fitted(self, trained_digits):
+        network, train, _ = trained_digits
+        builder = MonitorBuilder("minmax", 4)
+        monitor = ClassConditionalMonitor(builder, num_classes=4)
+        monitor.fit(network, train.inputs, labels=train.targets)
+        return monitor, network, train
+
+    def test_training_inputs_rarely_warn(self, fitted):
+        monitor, network, train = fitted
+        # Inputs routed to their own class's monitor do not warn; a few
+        # misclassified training samples may be routed to another class's
+        # monitor, so allow a small warning rate rather than exactly zero.
+        assert monitor.warning_rate(train.inputs) <= 0.1
+
+    def test_far_input_warns(self, fitted, trained_digits):
+        monitor, network, _ = fitted
+        assert monitor.warn(np.full(network.input_dim, 30.0))
+
+    def test_per_class_monitors_exist(self, fitted):
+        monitor, _, train = fitted
+        present = [c for c in range(4) if monitor.monitor_for_class(c) is not None]
+        assert len(present) >= 2
+        assert monitor.monitor_for_class(present[0]).is_fitted
+
+    def test_verdict_reports_predicted_class(self, fitted, trained_digits):
+        monitor, _, train = fitted
+        verdict = monitor.verdict(train.inputs[0])
+        assert "predicted_class" in verdict.details
+        assert 0 <= verdict.details["predicted_class"] < 4
+
+    def test_fit_with_network_predictions_as_labels(self, trained_digits):
+        network, train, _ = trained_digits
+        monitor = ClassConditionalMonitor(MonitorBuilder("minmax", 4), num_classes=4)
+        monitor.fit(network, train.inputs)  # labels default to predictions
+        assert monitor.is_fitted
+        assert monitor.warning_rate(train.inputs) == 0.0
+
+    def test_unseen_class_falls_back_to_warning(self, trained_digits):
+        network, train, _ = trained_digits
+        monitor = ClassConditionalMonitor(MonitorBuilder("minmax", 4), num_classes=4)
+        # Fit with only the samples of a single predicted class.
+        predictions = network.predict_classes(train.inputs)
+        majority = int(np.bincount(predictions).argmax())
+        subset = train.inputs[predictions == majority]
+        monitor.fit(network, subset)
+        other = train.inputs[predictions != majority]
+        if other.shape[0]:
+            assert monitor.warn_batch(other).all()
+
+    def test_unfitted_monitor_raises(self, trained_digits):
+        network, train, _ = trained_digits
+        monitor = ClassConditionalMonitor(MonitorBuilder("minmax", 4), num_classes=4)
+        with pytest.raises(NotFittedError):
+            monitor.warn(train.inputs[0])
+
+    def test_label_shape_mismatch_rejected(self, trained_digits):
+        network, train, _ = trained_digits
+        monitor = ClassConditionalMonitor(MonitorBuilder("minmax", 4), num_classes=4)
+        with pytest.raises(ShapeError):
+            monitor.fit(network, train.inputs, labels=np.zeros(3, dtype=int))
+
+    def test_invalid_num_classes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClassConditionalMonitor(MonitorBuilder("minmax", 4), num_classes=1)
+
+    def test_empty_fit_rejected(self, trained_digits):
+        network, _, _ = trained_digits
+        monitor = ClassConditionalMonitor(MonitorBuilder("minmax", 4), num_classes=4)
+        with pytest.raises(ShapeError):
+            monitor.fit(network, np.zeros((0, network.input_dim)))
+
+    def test_describe(self, fitted):
+        monitor, _, _ = fitted
+        info = monitor.describe()
+        assert info["num_classes"] == 4
+        assert info["builder"]["family"] == "minmax"
+        assert isinstance(info["classes_with_monitors"], list)
+
+    def test_warning_rate_requires_samples(self, fitted, trained_digits):
+        monitor, network, _ = fitted
+        with pytest.raises(ShapeError):
+            monitor.warning_rate(np.zeros((0, network.input_dim)))

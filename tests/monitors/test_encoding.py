@@ -1,0 +1,163 @@
+"""Tests for interval-code encodings, including the paper's Figure 1 table."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.monitors.encoding import (
+    bits_for_cuts,
+    code_of_value,
+    code_range_of_bound,
+    code_sets_of_bounds,
+    codes_of_values,
+    num_codes,
+    paper_code_2bit,
+    paper_robust_code_set_2bit,
+)
+
+
+class TestGeneralEncoding:
+    def test_code_of_value_half_open_intervals(self):
+        cuts = [0.0, 1.0, 2.0]
+        assert code_of_value(-5.0, cuts) == 0
+        assert code_of_value(0.0, cuts) == 0  # boundary belongs to the lower interval
+        assert code_of_value(0.5, cuts) == 1
+        assert code_of_value(1.5, cuts) == 2
+        assert code_of_value(2.0, cuts) == 2
+        assert code_of_value(2.5, cuts) == 3
+
+    def test_codes_of_values_vectorised(self):
+        cut_points = np.array([[0.0, 1.0], [10.0, 20.0]])
+        values = np.array([[0.5, 15.0], [2.0, 5.0]])
+        codes = codes_of_values(values, cut_points)
+        np.testing.assert_array_equal(codes, [[1, 1], [2, 0]])
+
+    def test_codes_of_single_vector(self):
+        cut_points = np.array([[0.0], [0.0]])
+        codes = codes_of_values(np.array([1.0, -1.0]), cut_points)
+        np.testing.assert_array_equal(codes, [1, 0])
+
+    def test_codes_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            codes_of_values(np.zeros(3), np.zeros((2, 1)))
+
+    def test_non_increasing_cuts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            codes_of_values(np.zeros(1), np.array([[1.0, 0.0]]))
+
+    def test_num_codes_and_bits(self):
+        assert num_codes(1) == 2
+        assert num_codes(3) == 4
+        assert bits_for_cuts(1) == 1
+        assert bits_for_cuts(3) == 2
+        assert bits_for_cuts(7) == 3
+        assert bits_for_cuts(4) == 3  # 5 codes need 3 bits
+        with pytest.raises(ConfigurationError):
+            num_codes(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(value=st.floats(-10, 10), shift=st.floats(0.001, 5))
+    def test_code_monotone_in_value_property(self, value, shift):
+        cuts = [-2.0, 0.0, 1.0, 3.0]
+        assert code_of_value(value, cuts) <= code_of_value(value + shift, cuts)
+
+
+class TestBoundCodeSets:
+    def test_code_range_of_bound(self):
+        cuts = [0.0, 1.0, 2.0]
+        assert code_range_of_bound(0.5, 1.5, cuts) == (1, 2)
+        assert code_range_of_bound(-1.0, 3.0, cuts) == (0, 3)
+        assert code_range_of_bound(1.2, 1.3, cuts) == (2, 2)
+
+    def test_code_range_inverted_bound_rejected(self):
+        with pytest.raises(ShapeError):
+            code_range_of_bound(2.0, 1.0, [0.0])
+
+    def test_code_sets_of_bounds_contiguous(self):
+        cut_points = np.array([[0.0, 1.0, 2.0], [0.0, 1.0, 2.0]])
+        sets = code_sets_of_bounds(
+            np.array([0.5, -1.0]), np.array([2.5, 0.5]), cut_points
+        )
+        assert sets[0] == frozenset({1, 2, 3})
+        assert sets[1] == frozenset({0, 1})
+
+    def test_code_sets_dimension_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            code_sets_of_bounds(np.zeros(2), np.zeros(3), np.zeros((2, 1)))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        low=st.floats(-5, 5),
+        width=st.floats(0, 5),
+        fraction=st.floats(0, 1),
+    )
+    def test_robust_set_covers_standard_code_property(self, low, width, fraction):
+        """Any value inside [low, high] has its standard code in the robust set."""
+        cuts = np.array([[-1.0, 0.5, 2.0]])
+        high = low + width
+        value = low + fraction * width
+        sets = code_sets_of_bounds(np.array([low]), np.array([high]), cuts)
+        assert code_of_value(value, cuts[0]) in sets[0]
+
+
+class TestPaperTwoBitEncoding:
+    C1, C2, C3 = 0.0, 1.0, 2.0
+
+    def test_standard_codes_match_section_iiic(self):
+        assert paper_code_2bit(3.0, self.C1, self.C2, self.C3) == 3
+        assert paper_code_2bit(2.0, self.C1, self.C2, self.C3) == 2
+        assert paper_code_2bit(1.0, self.C1, self.C2, self.C3) == 2
+        assert paper_code_2bit(0.5, self.C1, self.C2, self.C3) == 1
+        assert paper_code_2bit(0.0, self.C1, self.C2, self.C3) == 0
+        assert paper_code_2bit(-1.0, self.C1, self.C2, self.C3) == 0
+
+    def test_unordered_cuts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paper_code_2bit(0.0, 1.0, 1.0, 2.0)
+        with pytest.raises(ConfigurationError):
+            paper_robust_code_set_2bit(0.0, 1.0, 2.0, 1.0, 0.0)
+
+    def test_inverted_bound_rejected(self):
+        with pytest.raises(ShapeError):
+            paper_robust_code_set_2bit(2.0, 1.0, self.C1, self.C2, self.C3)
+
+    @pytest.mark.parametrize(
+        "low, high, expected",
+        [
+            (2.5, 3.0, {3}),                     # l > c3
+            (1.0, 2.0, {2}),                     # c3 >= u >= l >= c2
+            (0.2, 0.8, {1}),                     # c2 > u >= l > c1
+            (-2.0, -0.5, {0}),                   # c1 >= u
+            (-0.5, 0.5, {0, 1}),                 # straddles c1
+            (0.5, 1.5, {1, 2}),                  # straddles c2
+            (1.5, 2.5, {2, 3}),                  # straddles c3
+            (-0.5, 1.5, {0, 1, 2}),              # below c1 up to mid band
+            (0.5, 2.5, {1, 2, 3}),               # mid band beyond c3
+            (-0.5, 2.5, {0, 1, 2, 3}),           # spans everything
+        ],
+    )
+    def test_figure1_ten_cases(self, low, high, expected):
+        result = paper_robust_code_set_2bit(low, high, self.C1, self.C2, self.C3)
+        assert result == frozenset(expected)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        low=st.floats(-3, 4),
+        width=st.floats(0, 6),
+        fraction=st.floats(0, 1),
+    )
+    def test_paper_robust_set_covers_paper_code_property(self, low, width, fraction):
+        """Figure 1 soundness: the robust set contains the code of every value in the bound."""
+        high = low + width
+        value = low + fraction * width
+        robust = paper_robust_code_set_2bit(low, high, self.C1, self.C2, self.C3)
+        assert paper_code_2bit(value, self.C1, self.C2, self.C3) in robust
+
+    def test_degenerate_bound_matches_standard_code(self):
+        for value in (-1.0, 0.0, 0.3, 1.0, 1.7, 2.0, 2.4):
+            robust = paper_robust_code_set_2bit(value, value, self.C1, self.C2, self.C3)
+            assert robust == frozenset({paper_code_2bit(value, self.C1, self.C2, self.C3)})

@@ -1,0 +1,91 @@
+"""Tests for multi-monitor ensembles."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.monitors.boolean import BooleanPatternMonitor
+from repro.monitors.ensemble import MonitorEnsemble
+from repro.monitors.minmax import MinMaxMonitor
+
+
+@pytest.fixture
+def members(tiny_network):
+    return [
+        MinMaxMonitor(tiny_network, 2),
+        MinMaxMonitor(tiny_network, 4),
+        BooleanPatternMonitor(tiny_network, 4, thresholds="mean"),
+    ]
+
+
+class TestVotingRules:
+    def test_fit_fits_every_member(self, members, tiny_inputs):
+        ensemble = MonitorEnsemble(members, vote="any").fit(tiny_inputs)
+        assert ensemble.is_fitted
+        assert all(monitor.is_fitted for monitor in ensemble.monitors)
+
+    def test_any_vote_warns_when_one_member_warns(self, members, tiny_inputs, tiny_network):
+        ensemble = MonitorEnsemble(members, vote="any").fit(tiny_inputs)
+        far = np.full(tiny_network.input_dim, 70.0)
+        member_warnings = [monitor.warn(far) for monitor in ensemble.monitors]
+        assert ensemble.warn(far) == any(member_warnings)
+
+    def test_all_vote_requires_every_member(self, members, tiny_inputs, tiny_network):
+        ensemble = MonitorEnsemble(members, vote="all").fit(tiny_inputs)
+        far = np.full(tiny_network.input_dim, 70.0)
+        member_warnings = [monitor.warn(far) for monitor in ensemble.monitors]
+        assert ensemble.warn(far) == all(member_warnings)
+
+    def test_majority_threshold(self, members):
+        ensemble = MonitorEnsemble(members, vote="majority")
+        assert ensemble._threshold == 2
+
+    def test_integer_vote_threshold(self, members, tiny_inputs):
+        ensemble = MonitorEnsemble(members, vote=3).fit(tiny_inputs)
+        verdict = ensemble.verdict(tiny_inputs[0])
+        assert verdict.details["threshold"] == 3
+        assert not verdict.warn
+
+    def test_training_inputs_do_not_warn_for_any_vote(self, members, tiny_inputs):
+        ensemble = MonitorEnsemble(members, vote="any").fit(tiny_inputs)
+        assert ensemble.warning_rate(tiny_inputs) == 0.0
+
+    def test_any_at_least_as_sensitive_as_all(self, members, tiny_inputs, rng):
+        ensemble_any = MonitorEnsemble(members, vote="any").fit(tiny_inputs)
+        ensemble_all = MonitorEnsemble(members, vote="all")  # members already fitted
+        probes = rng.uniform(-3.0, 3.0, size=(25, tiny_inputs.shape[1]))
+        assert ensemble_any.warning_rate(probes) >= ensemble_all.warning_rate(probes)
+
+    def test_verdict_details(self, members, tiny_inputs):
+        ensemble = MonitorEnsemble(members, vote="any").fit(tiny_inputs)
+        verdict = ensemble.verdict(tiny_inputs[0])
+        assert len(verdict.details["member_warnings"]) == len(members)
+        assert verdict.details["votes"] == 0
+
+
+class TestValidation:
+    def test_empty_ensemble_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MonitorEnsemble([])
+
+    def test_unknown_vote_rule_rejected(self, members):
+        with pytest.raises(ConfigurationError):
+            MonitorEnsemble(members, vote="plurality")
+
+    def test_out_of_range_integer_vote_rejected(self, members):
+        with pytest.raises(ConfigurationError):
+            MonitorEnsemble(members, vote=0)
+        with pytest.raises(ConfigurationError):
+            MonitorEnsemble(members, vote=4)
+
+    def test_warning_rate_requires_samples(self, members, tiny_inputs, tiny_network):
+        ensemble = MonitorEnsemble(members, vote="any").fit(tiny_inputs)
+        with pytest.raises(ShapeError):
+            ensemble.warning_rate(np.zeros((0, tiny_network.input_dim)))
+
+    def test_len_and_describe(self, members, tiny_inputs):
+        ensemble = MonitorEnsemble(members, vote="majority").fit(tiny_inputs)
+        assert len(ensemble) == 3
+        info = ensemble.describe()
+        assert info["vote"] == "majority"
+        assert len(info["members"]) == 3

@@ -1,0 +1,167 @@
+"""Property-based tests of the paper's formal guarantees.
+
+Lemma 1: for a robust monitor ``M_{⟨G, k, k_p, Δ⟩}``, if the monitor warns on
+an operational input ``v_op`` then no training input ``v_tr`` satisfies
+``|G^{k_p}_j(v_op) − G^{k_p}_j(v_tr)| ≤ Δ`` for every ``j``.
+
+The contrapositive — an operational input that *is* Δ-close (at layer ``k_p``)
+to some training input never triggers a warning — is what the tests below
+verify for every monitor family and every propagation back-end, using
+hypothesis to explore perturbation directions and magnitudes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.monitors.boolean import RobustBooleanPatternMonitor
+from repro.monitors.interval import RobustIntervalPatternMonitor
+from repro.monitors.minmax import RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+
+DELTA = 0.05
+
+COMMON_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _fit_monitor(family, network, inputs, spec):
+    if family == "minmax":
+        return RobustMinMaxMonitor(network, 4, spec).fit(inputs)
+    if family == "boolean":
+        return RobustBooleanPatternMonitor(network, 4, spec, thresholds="mean").fit(inputs)
+    return RobustIntervalPatternMonitor(network, 4, spec, num_cuts=3).fit(inputs)
+
+
+@pytest.fixture(scope="module")
+def monitors(tiny_network, tiny_inputs):
+    """All three robust monitor families fitted with the same Δ at k_p = 0."""
+    spec = PerturbationSpec(delta=DELTA, layer=0, method="box")
+    return {
+        family: _fit_monitor(family, tiny_network, tiny_inputs, spec)
+        for family in ("minmax", "boolean", "interval")
+    }
+
+
+@pytest.fixture(scope="module")
+def feature_level_monitors(tiny_network, tiny_inputs):
+    """Robust monitors with the perturbation applied at a hidden layer k_p = 2."""
+    spec = PerturbationSpec(delta=DELTA, layer=2, method="box")
+    return {
+        family: _fit_monitor(family, tiny_network, tiny_inputs, spec)
+        for family in ("minmax", "boolean", "interval")
+    }
+
+
+class TestLemma1InputLevel:
+    @pytest.mark.parametrize("family", ["minmax", "boolean", "interval"])
+    @COMMON_SETTINGS
+    @given(
+        sample_index=st.integers(0, 23),
+        seed=st.integers(0, 10_000),
+        scale=st.floats(0.0, 1.0),
+    )
+    def test_delta_close_inputs_never_warn(
+        self, monitors, tiny_inputs, family, sample_index, seed, scale
+    ):
+        """Contrapositive of Lemma 1 with k_p = 0 (input-level closeness)."""
+        monitor = monitors[family]
+        anchor = tiny_inputs[sample_index]
+        rng = np.random.default_rng(seed)
+        perturbation = rng.uniform(-1.0, 1.0, size=anchor.shape) * DELTA * scale
+        operational = anchor + perturbation
+        assert not monitor.warn(operational)
+
+    @pytest.mark.parametrize("family", ["minmax", "boolean", "interval"])
+    @COMMON_SETTINGS
+    @given(sample_index=st.integers(0, 23), seed=st.integers(0, 10_000))
+    def test_worst_case_corner_perturbations_never_warn(
+        self, monitors, tiny_inputs, family, sample_index, seed
+    ):
+        """Corner perturbations (every coordinate at ±Δ) are the hardest case."""
+        monitor = monitors[family]
+        anchor = tiny_inputs[sample_index]
+        rng = np.random.default_rng(seed)
+        signs = rng.choice([-1.0, 1.0], size=anchor.shape)
+        operational = anchor + DELTA * signs
+        assert not monitor.warn(operational)
+
+    @pytest.mark.parametrize("family", ["minmax", "boolean", "interval"])
+    def test_lemma1_statement_direct(self, monitors, tiny_network, tiny_inputs, family):
+        """Direct form: whenever the monitor warns, no training point is Δ-close."""
+        monitor = monitors[family]
+        rng = np.random.default_rng(42)
+        probes = rng.uniform(-2.0, 2.0, size=(40, tiny_network.input_dim))
+        train_features = tiny_inputs  # k_p = 0: closeness measured on raw inputs
+        for probe in probes:
+            if not monitor.warn(probe):
+                continue
+            distances = np.max(np.abs(train_features - probe[None, :]), axis=1)
+            assert np.all(distances > DELTA), (
+                "monitor warned although a training input is Δ-close — Lemma 1 violated"
+            )
+
+
+class TestLemma1FeatureLevel:
+    @pytest.mark.parametrize("family", ["minmax", "boolean", "interval"])
+    @COMMON_SETTINGS
+    @given(sample_index=st.integers(0, 23), seed=st.integers(0, 5_000))
+    def test_feature_level_delta_closeness(
+        self, feature_level_monitors, tiny_network, tiny_inputs, family, sample_index, seed
+    ):
+        """Perturbation applied directly at layer k_p = 2 never triggers a warning.
+
+        The operational input here is synthetic: we perturb the layer-2
+        feature of a training input and push it through the remaining layers
+        manually, then query the monitor's internals the same way its
+        ``warn`` path would.
+        """
+        monitor = feature_level_monitors[family]
+        anchor_feature = tiny_network.forward_to(2, tiny_inputs[sample_index])
+        rng = np.random.default_rng(seed)
+        perturbed_feature = anchor_feature + rng.uniform(
+            -DELTA, DELTA, size=anchor_feature.shape
+        )
+        monitored_value = tiny_network.forward_from_to(3, 4, perturbed_feature)
+        monitored_value = monitored_value[monitor.neuron_indices]
+        if family == "minmax":
+            ok = np.all(monitored_value >= monitor.lower - 1e-9) and np.all(
+                monitored_value <= monitor.upper + 1e-9
+            )
+            assert ok
+        elif family == "boolean":
+            word = monitor._word(monitored_value)
+            assert monitor.patterns.contains(word)
+        else:
+            codes = monitor._codes(monitored_value)
+            assert monitor.patterns.contains(codes)
+
+
+class TestBackendsAgreeOnGuarantee:
+    @pytest.mark.parametrize("method", ["box", "zonotope", "star"])
+    def test_every_backend_satisfies_lemma1(self, tiny_network, tiny_inputs, method):
+        spec = PerturbationSpec(delta=0.04, layer=0, method=method)
+        monitor = RobustMinMaxMonitor(tiny_network, 4, spec).fit(tiny_inputs[:10])
+        rng = np.random.default_rng(7)
+        for anchor in tiny_inputs[:10]:
+            for _ in range(5):
+                operational = anchor + rng.uniform(-0.04, 0.04, size=anchor.shape)
+                assert not monitor.warn(operational)
+
+    @pytest.mark.parametrize("method", ["box", "zonotope", "star"])
+    def test_robust_envelope_contains_standard_envelope(
+        self, tiny_network, tiny_inputs, method
+    ):
+        """Every back-end's robust envelope contains the Δ = 0 envelope."""
+        from repro.monitors.minmax import MinMaxMonitor
+
+        standard = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs[:10])
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.05, method=method)
+        ).fit(tiny_inputs[:10])
+        assert np.all(robust.lower <= standard.lower + 1e-9)
+        assert np.all(robust.upper >= standard.upper - 1e-9)

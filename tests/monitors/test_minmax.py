@@ -1,0 +1,172 @@
+"""Tests for the min-max envelope monitors (standard and robust)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError, ShapeError
+from repro.monitors.minmax import MinMaxMonitor, RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+
+
+class TestStandardMinMax:
+    def test_training_inputs_never_warn(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        assert not np.any(monitor.warn_batch(tiny_inputs))
+
+    def test_far_out_of_distribution_input_warns(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        assert monitor.warn(np.full(tiny_network.input_dim, 50.0))
+
+    def test_envelope_matches_feature_min_max(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 3).fit(tiny_inputs)
+        features = monitor.features(tiny_inputs)
+        np.testing.assert_allclose(monitor.lower, features.min(axis=0))
+        np.testing.assert_allclose(monitor.upper, features.max(axis=0))
+
+    def test_verdict_reports_violating_neurons(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        verdict = monitor.verdict(np.full(tiny_network.input_dim, 50.0))
+        assert verdict.warn
+        assert len(verdict.violations) >= 1
+        assert verdict.details["max_violation_distance"] > 0
+
+    def test_non_warning_verdict_has_no_violations(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        verdict = monitor.verdict(tiny_inputs[0])
+        assert not verdict.warn
+        assert verdict.violations == ()
+
+    def test_update_extends_envelope(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs[:10])
+        extra = tiny_inputs[10:]
+        had_warnings = np.any(monitor.warn_batch(extra))
+        monitor.update(extra)
+        assert not np.any(monitor.warn_batch(extra))
+        assert monitor.num_training_samples == tiny_inputs.shape[0]
+        # The update only matters if some extra sample was outside before.
+        assert had_warnings or monitor.envelope().width_sum() >= 0
+
+    def test_enlargement_reduces_warnings(self, tiny_network, tiny_inputs):
+        plain = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs[:12])
+        enlarged = MinMaxMonitor(tiny_network, 4, enlargement=0.5).fit(tiny_inputs[:12])
+        probe = tiny_inputs[12:]
+        assert enlarged.warning_rate(probe) <= plain.warning_rate(probe)
+
+    def test_neuron_subset_monitoring(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4, neuron_indices=[0, 2, 5]).fit(tiny_inputs)
+        assert monitor.num_monitored_neurons == 3
+        assert monitor.lower.shape == (3,)
+        assert not np.any(monitor.warn_batch(tiny_inputs))
+
+    def test_unfitted_monitor_raises(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4)
+        with pytest.raises(NotFittedError):
+            monitor.warn(tiny_inputs[0])
+        with pytest.raises(NotFittedError):
+            monitor.envelope()
+
+    def test_empty_fit_rejected(self, tiny_network):
+        monitor = MinMaxMonitor(tiny_network, 4)
+        with pytest.raises(ShapeError):
+            monitor.fit(np.zeros((0, tiny_network.input_dim)))
+
+    def test_invalid_configuration_rejected(self, tiny_network):
+        with pytest.raises(ConfigurationError):
+            MinMaxMonitor(tiny_network, 0)
+        with pytest.raises(ConfigurationError):
+            MinMaxMonitor(tiny_network, 99)
+        with pytest.raises(ConfigurationError):
+            MinMaxMonitor(tiny_network, 4, enlargement=-0.1)
+        with pytest.raises(ConfigurationError):
+            MinMaxMonitor(tiny_network, 4, neuron_indices=[99])
+        with pytest.raises(ConfigurationError):
+            MinMaxMonitor(tiny_network, 4, neuron_indices=[])
+
+    def test_describe_contains_state(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        info = monitor.describe()
+        assert info["kind"] == "minmax"
+        assert info["fitted"] is True
+        assert info["num_training_samples"] == tiny_inputs.shape[0]
+        assert "envelope_width_sum" in info
+
+    def test_warning_rate_requires_samples(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        with pytest.raises(ShapeError):
+            monitor.warning_rate(np.zeros((0, tiny_network.input_dim)))
+
+
+class TestRobustMinMax:
+    def test_robust_envelope_contains_standard_envelope(self, tiny_network, tiny_inputs):
+        standard = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.05)
+        ).fit(tiny_inputs)
+        assert np.all(robust.lower <= standard.lower + 1e-9)
+        assert np.all(robust.upper >= standard.upper - 1e-9)
+
+    def test_zero_delta_matches_standard_monitor(self, tiny_network, tiny_inputs):
+        standard = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.0)
+        ).fit(tiny_inputs)
+        np.testing.assert_allclose(robust.lower, standard.lower, atol=1e-9)
+        np.testing.assert_allclose(robust.upper, standard.upper, atol=1e-9)
+
+    def test_perturbed_training_inputs_never_warn(self, tiny_network, tiny_inputs):
+        """Lemma 1 for the min-max family, checked empirically."""
+        delta = 0.03
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=delta)
+        ).fit(tiny_inputs)
+        rng = np.random.default_rng(0)
+        for x in tiny_inputs[:8]:
+            for _ in range(10):
+                perturbed = x + rng.uniform(-delta, delta, size=x.shape)
+                assert not robust.warn(perturbed)
+
+    def test_robust_monitor_still_detects_far_inputs(self, tiny_network, tiny_inputs):
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.02)
+        ).fit(tiny_inputs)
+        assert robust.warn(np.full(tiny_network.input_dim, 100.0))
+
+    def test_larger_delta_gives_wider_envelope(self, tiny_network, tiny_inputs):
+        small = RobustMinMaxMonitor(tiny_network, 4, PerturbationSpec(delta=0.01)).fit(tiny_inputs)
+        large = RobustMinMaxMonitor(tiny_network, 4, PerturbationSpec(delta=0.1)).fit(tiny_inputs)
+        assert large.envelope().width_sum() >= small.envelope().width_sum()
+
+    def test_feature_level_perturbation_layer(self, tiny_network, tiny_inputs):
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.05, layer=2)
+        ).fit(tiny_inputs)
+        assert not np.any(robust.warn_batch(tiny_inputs))
+
+    def test_update_folds_new_estimates(self, tiny_network, tiny_inputs):
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.02)
+        ).fit(tiny_inputs[:10])
+        robust.update(tiny_inputs[10:])
+        assert robust.num_training_samples == tiny_inputs.shape[0]
+        assert not np.any(robust.warn_batch(tiny_inputs))
+
+    def test_perturbation_layer_must_precede_monitored_layer(self, tiny_network):
+        with pytest.raises(ConfigurationError):
+            RobustMinMaxMonitor(tiny_network, 2, PerturbationSpec(delta=0.1, layer=2))
+
+    def test_describe_mentions_perturbation(self, tiny_network, tiny_inputs):
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.05, method="zonotope")
+        ).fit(tiny_inputs)
+        assert "zonotope" in robust.describe()["perturbation"]
+
+    @pytest.mark.parametrize("method", ["box", "zonotope", "star"])
+    def test_all_backends_produce_sound_envelopes(self, tiny_network, tiny_inputs, method):
+        delta = 0.04
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=delta, method=method)
+        ).fit(tiny_inputs[:8])
+        rng = np.random.default_rng(2)
+        for x in tiny_inputs[:8]:
+            perturbed = x + rng.uniform(-delta, delta, size=x.shape)
+            assert not robust.warn(perturbed)

@@ -1,0 +1,131 @@
+"""Tests for quantitative (score-based) monitor wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.monitors.boolean import BooleanPatternMonitor
+from repro.monitors.interval import IntervalPatternMonitor
+from repro.monitors.minmax import MinMaxMonitor, RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+from repro.monitors.quantitative import EnvelopeDistanceMonitor, PatternDistanceMonitor
+
+
+class TestEnvelopeDistanceMonitor:
+    @pytest.fixture
+    def wrapped(self, tiny_network, tiny_inputs):
+        return EnvelopeDistanceMonitor(MinMaxMonitor(tiny_network, 4).fit(tiny_inputs))
+
+    def test_training_inputs_have_zero_score(self, wrapped, tiny_inputs):
+        scores = wrapped.score_batch(tiny_inputs)
+        np.testing.assert_allclose(scores, 0.0, atol=1e-9)
+        assert not np.any(wrapped.warn_batch(tiny_inputs))
+
+    def test_far_inputs_have_positive_score(self, wrapped, tiny_network):
+        far = np.full(tiny_network.input_dim, 50.0)
+        assert wrapped.score(far) > 0.0
+        assert wrapped.warn(far)
+
+    def test_score_grows_with_distance(self, wrapped, tiny_network):
+        near = np.full(tiny_network.input_dim, 2.0)
+        far = np.full(tiny_network.input_dim, 20.0)
+        assert wrapped.score(far) >= wrapped.score(near)
+
+    def test_threshold_controls_warning(self, tiny_network, tiny_inputs):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        strict = EnvelopeDistanceMonitor(monitor, threshold=0.0)
+        lenient = EnvelopeDistanceMonitor(monitor, threshold=100.0)
+        far = np.full(tiny_network.input_dim, 50.0)
+        assert strict.warn(far)
+        assert not lenient.warn(far)
+
+    def test_works_with_robust_monitor(self, tiny_network, tiny_inputs):
+        robust = RobustMinMaxMonitor(
+            tiny_network, 4, PerturbationSpec(delta=0.05)
+        ).fit(tiny_inputs)
+        quantitative = EnvelopeDistanceMonitor(robust)
+        rng = np.random.default_rng(0)
+        perturbed = tiny_inputs[0] + rng.uniform(-0.05, 0.05, size=tiny_inputs[0].shape)
+        assert quantitative.score(perturbed) == 0.0
+
+    def test_verdict_details_contain_score(self, wrapped, tiny_inputs):
+        verdict = wrapped.verdict(tiny_inputs[0])
+        assert verdict.details["score"] == 0.0
+        assert not verdict.warn
+
+    def test_warning_rate(self, wrapped, tiny_inputs, tiny_network):
+        mixed = np.vstack([tiny_inputs[:5], np.full((5, tiny_network.input_dim), 60.0)])
+        assert wrapped.warning_rate(mixed) == pytest.approx(0.5)
+
+    def test_requires_minmax_monitor(self, tiny_network):
+        with pytest.raises(ConfigurationError):
+            EnvelopeDistanceMonitor(BooleanPatternMonitor(tiny_network, 4))
+
+    def test_negative_threshold_rejected(self, tiny_network):
+        with pytest.raises(ConfigurationError):
+            EnvelopeDistanceMonitor(MinMaxMonitor(tiny_network, 4), threshold=-1.0)
+
+    def test_unfitted_monitor_raises(self, tiny_network, tiny_inputs):
+        quantitative = EnvelopeDistanceMonitor(MinMaxMonitor(tiny_network, 4))
+        with pytest.raises(NotFittedError):
+            quantitative.score(tiny_inputs[0])
+
+    def test_describe(self, wrapped):
+        info = wrapped.describe()
+        assert info["kind"] == "envelope_distance"
+        assert info["wrapped"]["kind"] == "minmax"
+
+
+class TestPatternDistanceMonitor:
+    @pytest.fixture
+    def wrapped(self, tiny_network, tiny_inputs):
+        monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        return PatternDistanceMonitor(monitor)
+
+    def test_training_inputs_have_zero_distance(self, wrapped, tiny_inputs):
+        assert np.all(wrapped.score_batch(tiny_inputs) == 0.0)
+        assert not np.any(wrapped.warn_batch(tiny_inputs))
+
+    def test_distance_bounded_by_word_length(self, wrapped, tiny_network):
+        far = np.full(tiny_network.input_dim, -50.0)
+        distance = wrapped.distance(far)
+        assert 0 <= distance <= wrapped.monitor.num_monitored_neurons + 1
+        assert 0.0 <= wrapped.score(far) <= 1.5
+
+    def test_score_consistent_with_binary_monitor(self, wrapped, tiny_network, rng):
+        probes = rng.uniform(-4.0, 4.0, size=(12, tiny_network.input_dim))
+        for probe in probes:
+            binary_warn = wrapped.monitor.warn(probe)
+            assert (wrapped.score(probe) > 0.0) == binary_warn
+
+    def test_threshold_relaxes_warnings(self, tiny_network, tiny_inputs, rng):
+        monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs[:12])
+        strict = PatternDistanceMonitor(monitor, threshold=0.0)
+        lenient = PatternDistanceMonitor(monitor, threshold=0.2)
+        probes = rng.uniform(-2.0, 2.0, size=(15, tiny_network.input_dim))
+        assert lenient.warning_rate(probes) <= strict.warning_rate(probes)
+
+    def test_max_distance_caps_search(self, tiny_network, tiny_inputs):
+        monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        capped = PatternDistanceMonitor(monitor, max_distance=1)
+        far = np.full(tiny_network.input_dim, -50.0)
+        assert capped.distance(far) <= 2
+
+    def test_works_with_interval_monitor(self, tiny_network, tiny_inputs):
+        monitor = IntervalPatternMonitor(tiny_network, 4, num_cuts=3).fit(tiny_inputs)
+        quantitative = PatternDistanceMonitor(monitor)
+        assert quantitative.score(tiny_inputs[0]) == 0.0
+
+    def test_requires_pattern_monitor(self, tiny_network):
+        with pytest.raises(ConfigurationError):
+            PatternDistanceMonitor(MinMaxMonitor(tiny_network, 4))
+
+    def test_unfitted_monitor_raises(self, tiny_network, tiny_inputs):
+        quantitative = PatternDistanceMonitor(BooleanPatternMonitor(tiny_network, 4))
+        with pytest.raises(NotFittedError):
+            quantitative.score(tiny_inputs[0])
+
+    def test_describe(self, wrapped):
+        info = wrapped.describe()
+        assert info["kind"] == "pattern_distance"
+        assert info["wrapped"]["kind"] == "boolean_pattern"

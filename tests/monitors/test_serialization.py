@@ -1,0 +1,100 @@
+"""Tests for monitor serialisation round trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError, SerializationError
+from repro.monitors.boolean import BooleanPatternMonitor, RobustBooleanPatternMonitor
+from repro.monitors.interval import IntervalPatternMonitor, RobustIntervalPatternMonitor
+from repro.monitors.minmax import MinMaxMonitor, RobustMinMaxMonitor
+from repro.monitors.perturbation import PerturbationSpec
+from repro.monitors.serialization import load_monitor, save_monitor
+
+SPEC = PerturbationSpec(delta=0.05, layer=0, method="box")
+
+
+def build_fitted(kind, network, inputs):
+    if kind == "minmax":
+        return MinMaxMonitor(network, 4, enlargement=0.1).fit(inputs)
+    if kind == "robust_minmax":
+        return RobustMinMaxMonitor(network, 4, SPEC).fit(inputs)
+    if kind == "boolean":
+        return BooleanPatternMonitor(network, 4, thresholds="mean", hamming_tolerance=1).fit(inputs)
+    if kind == "robust_boolean":
+        return RobustBooleanPatternMonitor(network, 4, SPEC, thresholds="mean").fit(inputs)
+    if kind == "interval":
+        return IntervalPatternMonitor(network, 4, num_cuts=3).fit(inputs)
+    return RobustIntervalPatternMonitor(network, 4, SPEC, num_cuts=3).fit(inputs)
+
+
+ALL_KINDS = ["minmax", "robust_minmax", "boolean", "robust_boolean", "interval", "robust_interval"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_warnings_identical_after_round_trip(
+        self, kind, tiny_network, tiny_inputs, tmp_path, rng
+    ):
+        monitor = build_fitted(kind, tiny_network, tiny_inputs)
+        path = save_monitor(monitor, tmp_path / f"{kind}.npz")
+        restored = load_monitor(path, tiny_network)
+        assert type(restored) is type(monitor)
+        probes = np.vstack(
+            [tiny_inputs, rng.uniform(-3.0, 3.0, size=(20, tiny_network.input_dim))]
+        )
+        np.testing.assert_array_equal(
+            restored.warn_batch(probes), monitor.warn_batch(probes)
+        )
+
+    def test_minmax_envelope_preserved(self, tiny_network, tiny_inputs, tmp_path):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        restored = load_monitor(save_monitor(monitor, tmp_path / "m"), tiny_network)
+        np.testing.assert_allclose(restored.lower, monitor.lower)
+        np.testing.assert_allclose(restored.upper, monitor.upper)
+        assert restored.num_training_samples == monitor.num_training_samples
+
+    def test_boolean_patterns_preserved(self, tiny_network, tiny_inputs, tmp_path):
+        monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        restored = load_monitor(save_monitor(monitor, tmp_path / "b"), tiny_network)
+        assert restored.pattern_count() == monitor.pattern_count()
+        np.testing.assert_allclose(restored.thresholds, monitor.thresholds)
+        assert restored.hamming_tolerance == monitor.hamming_tolerance
+
+    def test_interval_cut_points_preserved(self, tiny_network, tiny_inputs, tmp_path):
+        monitor = IntervalPatternMonitor(tiny_network, 4, num_cuts=3).fit(tiny_inputs)
+        restored = load_monitor(save_monitor(monitor, tmp_path / "i"), tiny_network)
+        np.testing.assert_allclose(restored.cut_points, monitor.cut_points)
+        assert restored.bits_per_neuron == monitor.bits_per_neuron
+
+    def test_robust_perturbation_spec_preserved(self, tiny_network, tiny_inputs, tmp_path):
+        monitor = RobustMinMaxMonitor(tiny_network, 4, SPEC).fit(tiny_inputs)
+        restored = load_monitor(save_monitor(monitor, tmp_path / "r"), tiny_network)
+        assert restored.perturbation == SPEC
+
+    def test_neuron_subset_preserved(self, tiny_network, tiny_inputs, tmp_path):
+        monitor = MinMaxMonitor(tiny_network, 4, neuron_indices=[0, 3, 5]).fit(tiny_inputs)
+        restored = load_monitor(save_monitor(monitor, tmp_path / "s"), tiny_network)
+        np.testing.assert_array_equal(restored.neuron_indices, [0, 3, 5])
+
+
+class TestErrors:
+    def test_unfitted_monitor_rejected(self, tiny_network, tmp_path):
+        with pytest.raises(NotFittedError):
+            save_monitor(MinMaxMonitor(tiny_network, 4), tmp_path / "x")
+
+    def test_missing_file_rejected(self, tiny_network, tmp_path):
+        with pytest.raises(SerializationError):
+            load_monitor(tmp_path / "missing.npz", tiny_network)
+
+    def test_non_monitor_archive_rejected(self, tiny_network, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(2))
+        with pytest.raises(SerializationError):
+            load_monitor(path, tiny_network)
+
+    def test_suffix_is_added(self, tiny_network, tiny_inputs, tmp_path):
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        path = save_monitor(monitor, tmp_path / "plain")
+        assert path.suffix == ".npz"
+        restored = load_monitor(tmp_path / "plain", tiny_network)
+        assert restored.is_fitted

@@ -1,0 +1,135 @@
+"""Tests for activation functions: values, derivatives and sound bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.nn.activations import (
+    ELU,
+    HardTanh,
+    Identity,
+    LeakyReLU,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    get_activation,
+)
+
+ALL_ACTIVATIONS = [
+    Identity(),
+    ReLU(),
+    LeakyReLU(0.05),
+    Sigmoid(),
+    Tanh(),
+    Softplus(),
+    HardTanh(),
+    ELU(0.7),
+]
+
+
+class TestValues:
+    def test_identity_passthrough(self):
+        x = np.array([-2.0, 0.0, 3.5])
+        np.testing.assert_array_equal(Identity().value(x), x)
+
+    def test_relu_clips_negatives(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(ReLU().value(x), [0.0, 0.0, 2.0])
+
+    def test_leaky_relu_negative_slope(self):
+        x = np.array([-2.0, 4.0])
+        np.testing.assert_allclose(LeakyReLU(0.1).value(x), [-0.2, 4.0])
+
+    def test_sigmoid_range_and_symmetry(self):
+        x = np.linspace(-10, 10, 101)
+        y = Sigmoid().value(x)
+        assert np.all((y > 0) & (y < 1))
+        np.testing.assert_allclose(y + Sigmoid().value(-x), 1.0, atol=1e-12)
+
+    def test_sigmoid_extreme_inputs_are_stable(self):
+        y = Sigmoid().value(np.array([-1000.0, 1000.0]))
+        assert np.all(np.isfinite(y))
+        np.testing.assert_allclose(y, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh_matches_numpy(self):
+        x = np.linspace(-3, 3, 25)
+        np.testing.assert_allclose(Tanh().value(x), np.tanh(x))
+
+    def test_softplus_positive_and_close_to_relu_for_large_x(self):
+        x = np.array([-50.0, 0.0, 50.0])
+        y = Softplus().value(x)
+        assert np.all(y >= 0)
+        assert abs(y[2] - 50.0) < 1e-6
+
+    def test_hard_tanh_clamps(self):
+        x = np.array([-5.0, -0.5, 0.5, 5.0])
+        np.testing.assert_array_equal(HardTanh().value(x), [-1.0, -0.5, 0.5, 1.0])
+
+    def test_elu_negative_branch(self):
+        value = ELU(1.0).value(np.array([-1.0]))[0]
+        np.testing.assert_allclose(value, np.expm1(-1.0))
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("activation", ALL_ACTIVATIONS, ids=lambda a: a.name)
+    def test_derivative_matches_finite_differences(self, activation):
+        # Avoid the non-differentiable kinks at 0 and ±1 by sampling away from them.
+        x = np.array([-2.3, -0.7, 0.4, 1.6, 2.9])
+        h = 1e-6
+        numeric = (activation.value(x + h) - activation.value(x - h)) / (2 * h)
+        np.testing.assert_allclose(activation.derivative(x), numeric, atol=1e-5)
+
+    def test_relu_derivative_at_origin_is_zero(self):
+        assert ReLU().derivative(np.array([0.0]))[0] == 0.0
+
+
+class TestBoundTransform:
+    @pytest.mark.parametrize("activation", ALL_ACTIVATIONS, ids=lambda a: a.name)
+    def test_bounds_are_ordered(self, activation):
+        low = np.array([-3.0, -0.1, 2.0])
+        high = np.array([-1.0, 0.2, 4.0])
+        new_low, new_high = activation.bound_transform(low, high)
+        assert np.all(new_low <= new_high + 1e-12)
+
+    @pytest.mark.parametrize("activation", ALL_ACTIVATIONS, ids=lambda a: a.name)
+    @settings(max_examples=30, deadline=None)
+    @given(
+        centre=st.floats(-5, 5),
+        radius=st.floats(0, 3),
+        sample=st.floats(0, 1),
+    )
+    def test_bound_soundness_property(self, activation, centre, radius, sample):
+        """Any concrete value inside the input interval maps inside the output bounds."""
+        low, high = centre - radius, centre + radius
+        point = low + sample * (high - low)
+        new_low, new_high = activation.bound_transform(
+            np.array([low]), np.array([high])
+        )
+        value = activation.value(np.array([point]))[0]
+        assert new_low[0] - 1e-9 <= value <= new_high[0] + 1e-9
+
+
+class TestConfiguration:
+    def test_leaky_relu_rejects_bad_slope(self):
+        with pytest.raises(ConfigurationError):
+            LeakyReLU(alpha=1.5)
+
+    def test_elu_rejects_nonpositive_alpha(self):
+        with pytest.raises(ConfigurationError):
+            ELU(alpha=0.0)
+
+    @pytest.mark.parametrize(
+        "name", ["identity", "relu", "leaky_relu", "sigmoid", "tanh", "softplus", "hard_tanh", "elu"]
+    )
+    def test_registry_lookup(self, name):
+        assert get_activation(name).name in (name, "identity")
+
+    def test_registry_alias_linear(self):
+        assert isinstance(get_activation("linear"), Identity)
+
+    def test_unknown_activation_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown activation"):
+            get_activation("swishy")

@@ -1,0 +1,126 @@
+"""Tests for weight initialisation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.initializers import (
+    Constant,
+    GlorotNormal,
+    GlorotUniform,
+    HeNormal,
+    HeUniform,
+    LeCunNormal,
+    Orthogonal,
+    RandomNormal,
+    RandomUniform,
+    Zeros,
+    get_initializer,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestBasicInitializers:
+    def test_zeros_returns_all_zero(self, rng):
+        values = Zeros()((4, 3), rng)
+        assert values.shape == (4, 3)
+        assert np.all(values == 0.0)
+
+    def test_constant_returns_requested_value(self, rng):
+        values = Constant(2.5)((3,), rng)
+        assert np.all(values == 2.5)
+
+    def test_random_normal_statistics(self, rng):
+        values = RandomNormal(mean=1.0, stddev=0.5)((2000,), rng)
+        assert abs(values.mean() - 1.0) < 0.1
+        assert abs(values.std() - 0.5) < 0.1
+
+    def test_random_normal_rejects_nonpositive_std(self):
+        with pytest.raises(ConfigurationError):
+            RandomNormal(stddev=0.0)
+
+    def test_random_uniform_respects_bounds(self, rng):
+        values = RandomUniform(-0.2, 0.3)((500,), rng)
+        assert values.min() >= -0.2
+        assert values.max() <= 0.3
+
+    def test_random_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ConfigurationError):
+            RandomUniform(0.5, 0.1)
+
+
+class TestVarianceScalingInitializers:
+    @pytest.mark.parametrize(
+        "initializer_class", [GlorotUniform, GlorotNormal, HeUniform, HeNormal, LeCunNormal]
+    )
+    def test_shape_and_dtype(self, initializer_class, rng):
+        values = initializer_class()((20, 30), rng)
+        assert values.shape == (20, 30)
+        assert values.dtype == np.float64
+
+    def test_glorot_uniform_limit(self, rng):
+        fan_in, fan_out = 50, 70
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        values = GlorotUniform()((fan_in, fan_out), rng)
+        assert np.all(np.abs(values) <= limit + 1e-12)
+
+    def test_he_normal_variance_scales_with_fan_in(self, rng):
+        fan_in = 400
+        values = HeNormal()((fan_in, 200), rng)
+        expected_std = np.sqrt(2.0 / fan_in)
+        assert abs(values.std() - expected_std) / expected_std < 0.1
+
+    def test_bias_shape_uses_single_fan(self, rng):
+        values = GlorotUniform()((16,), rng)
+        assert values.shape == (16,)
+
+
+class TestOrthogonal:
+    def test_square_matrix_is_orthogonal(self, rng):
+        values = Orthogonal()((12, 12), rng)
+        product = values @ values.T
+        np.testing.assert_allclose(product, np.eye(12), atol=1e-8)
+
+    def test_tall_matrix_has_orthonormal_columns(self, rng):
+        values = Orthogonal()((20, 8), rng)
+        product = values.T @ values
+        np.testing.assert_allclose(product, np.eye(8), atol=1e-8)
+
+    def test_gain_scales_result(self, rng):
+        values = Orthogonal(gain=3.0)((10, 10), rng)
+        product = values @ values.T
+        np.testing.assert_allclose(product, 9.0 * np.eye(10), atol=1e-7)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "zeros",
+            "constant",
+            "random_normal",
+            "random_uniform",
+            "glorot_uniform",
+            "glorot_normal",
+            "he_uniform",
+            "he_normal",
+            "lecun_normal",
+            "orthogonal",
+        ],
+    )
+    def test_lookup_by_name(self, name, rng):
+        initializer = get_initializer(name)
+        values = initializer((4, 4), rng)
+        assert values.shape == (4, 4)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown initializer"):
+            get_initializer("does-not-exist")
+
+    def test_default_rng_is_created_when_missing(self):
+        values = GlorotUniform()((3, 3))
+        assert values.shape == (3, 3)

@@ -1,0 +1,126 @@
+"""Tests for loss functions and their gradients."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.losses import (
+    Huber,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+    get_loss,
+    one_hot,
+    softmax,
+)
+
+ALL_LOSSES = [MeanSquaredError(), MeanAbsoluteError(), Huber(1.0), SoftmaxCrossEntropy()]
+
+
+class TestHelpers:
+    def test_softmax_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [-1.0, 0.0, 1.0]])
+        probabilities = softmax(logits)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities > 0)
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_softmax_handles_large_logits(self):
+        probabilities = softmax(np.array([[1000.0, 0.0]]))
+        assert np.all(np.isfinite(probabilities))
+
+    def test_one_hot_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            encoded, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_one_hot_rejects_out_of_range_labels(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_one_hot_rejects_2d_labels(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestLossValues:
+    def test_mse_known_value(self):
+        value, _ = MeanSquaredError()(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]]))
+        assert value == pytest.approx(2.5)
+
+    def test_mae_known_value(self):
+        value, _ = MeanAbsoluteError()(np.array([[1.0, -3.0]]), np.array([[0.0, 0.0]]))
+        assert value == pytest.approx(2.0)
+
+    def test_huber_quadratic_region(self):
+        value, _ = Huber(1.0)(np.array([[0.5]]), np.array([[0.0]]))
+        assert value == pytest.approx(0.125)
+
+    def test_huber_linear_region(self):
+        value, _ = Huber(1.0)(np.array([[3.0]]), np.array([[0.0]]))
+        assert value == pytest.approx(0.5 + 2.0)
+
+    def test_cross_entropy_perfect_prediction_is_small(self):
+        logits = np.array([[20.0, 0.0, 0.0]])
+        targets = one_hot(np.array([0]), 3)
+        value, _ = SoftmaxCrossEntropy()(logits, targets)
+        assert value < 1e-6
+
+    def test_cross_entropy_uniform_prediction(self):
+        logits = np.zeros((1, 4))
+        targets = one_hot(np.array([2]), 4)
+        value, _ = SoftmaxCrossEntropy()(logits, targets)
+        assert value == pytest.approx(np.log(4.0))
+
+    def test_zero_loss_at_target(self):
+        target = np.array([[1.0, -2.0]])
+        for loss in (MeanSquaredError(), MeanAbsoluteError(), Huber()):
+            value, _ = loss(target, target)
+            assert value == pytest.approx(0.0)
+
+
+class TestLossGradients:
+    @pytest.mark.parametrize("loss", ALL_LOSSES, ids=lambda loss: loss.name)
+    def test_gradient_matches_finite_differences(self, loss):
+        rng = np.random.default_rng(0)
+        predictions = rng.normal(size=(4, 3))
+        if isinstance(loss, SoftmaxCrossEntropy):
+            targets = one_hot(rng.integers(0, 3, size=4), 3)
+        else:
+            targets = rng.normal(size=(4, 3))
+        _, grad = loss(predictions, targets)
+        h = 1e-6
+        numeric = np.zeros_like(predictions)
+        for i in range(predictions.shape[0]):
+            for j in range(predictions.shape[1]):
+                bumped = predictions.copy()
+                bumped[i, j] += h
+                up, _ = loss(bumped, targets)
+                bumped[i, j] -= 2 * h
+                down, _ = loss(bumped, targets)
+                numeric[i, j] = (up - down) / (2 * h)
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            MeanSquaredError()(np.zeros((2, 3)), np.zeros((2, 2)))
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["mse", "mae", "huber", "softmax_cross_entropy", "cross_entropy"]
+    )
+    def test_lookup(self, name):
+        assert get_loss(name) is not None
+
+    def test_unknown_loss_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_loss("hinge-of-doom")
+
+    def test_huber_rejects_nonpositive_delta(self):
+        with pytest.raises(ConfigurationError):
+            Huber(0.0)

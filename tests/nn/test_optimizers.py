@@ -1,0 +1,98 @@
+"""Tests for gradient-based optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.optimizers import SGD, Adam, Momentum, RMSProp, get_optimizer
+
+ALL_OPTIMIZERS = [
+    SGD(learning_rate=0.1),
+    Momentum(learning_rate=0.1, momentum=0.9),
+    RMSProp(learning_rate=0.05),
+    Adam(learning_rate=0.05),
+]
+
+
+def quadratic_gradient(params):
+    """Gradient of f(x) = 0.5 * ||x - 3||^2 for each parameter array."""
+    return {key: value - 3.0 for key, value in params.items()}
+
+
+class TestUpdateRules:
+    def test_sgd_step_is_exact(self):
+        params = {"w": np.array([1.0, 2.0])}
+        grads = {"w": np.array([0.5, -1.0])}
+        SGD(learning_rate=0.2).step(params, grads)
+        np.testing.assert_allclose(params["w"], [0.9, 2.2])
+
+    def test_momentum_accumulates_velocity(self):
+        optimizer = Momentum(learning_rate=0.1, momentum=0.5)
+        params = {"w": np.array([0.0])}
+        grads = {"w": np.array([1.0])}
+        optimizer.step(params, grads)
+        first = params["w"].copy()
+        optimizer.step(params, grads)
+        second_step = params["w"] - first
+        # Second step is larger in magnitude because of accumulated velocity.
+        assert abs(second_step[0]) > abs(first[0])
+
+    def test_adam_first_step_magnitude_close_to_learning_rate(self):
+        optimizer = Adam(learning_rate=0.01)
+        params = {"w": np.array([5.0])}
+        grads = {"w": np.array([123.0])}
+        optimizer.step(params, grads)
+        assert params["w"][0] == pytest.approx(5.0 - 0.01, abs=1e-4)
+
+    def test_missing_gradient_raises(self):
+        with pytest.raises(ConfigurationError):
+            SGD().step({"w": np.zeros(2)}, {})
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("optimizer", ALL_OPTIMIZERS, ids=lambda o: o.name)
+    def test_converges_on_quadratic(self, optimizer):
+        optimizer.reset()
+        params = {"w": np.array([10.0, -4.0]), "b": np.array([0.0])}
+        for _ in range(300):
+            optimizer.step(params, quadratic_gradient(params))
+        for value in params.values():
+            np.testing.assert_allclose(value, 3.0, atol=0.2)
+
+    @pytest.mark.parametrize("optimizer", ALL_OPTIMIZERS, ids=lambda o: o.name)
+    def test_reset_clears_state(self, optimizer):
+        optimizer.reset()
+        params = {"w": np.array([1.0])}
+        optimizer.step(params, {"w": np.array([1.0])})
+        optimizer.reset()
+        assert optimizer.iterations == 0
+
+
+class TestConfiguration:
+    def test_nonpositive_learning_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SGD(learning_rate=0.0)
+
+    def test_bad_momentum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Momentum(momentum=1.0)
+
+    def test_bad_adam_betas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Adam(beta1=1.0)
+
+    def test_bad_rmsprop_rho_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RMSProp(rho=0.0)
+
+    @pytest.mark.parametrize("name", ["sgd", "momentum", "adam", "rmsprop"])
+    def test_registry_lookup(self, name):
+        assert get_optimizer(name).name == name
+
+    def test_registry_forwards_kwargs(self):
+        optimizer = get_optimizer("adam", learning_rate=0.123)
+        assert optimizer.learning_rate == pytest.approx(0.123)
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_optimizer("lion")

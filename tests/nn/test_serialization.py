@@ -1,0 +1,46 @@
+"""Tests for network save/load round trips."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.nn.network import mlp
+from repro.nn.serialization import load_network, save_network
+
+
+class TestRoundTrip:
+    def test_save_and_load_preserves_outputs(self, tmp_path):
+        network = mlp(5, [9, 4], 3, seed=21)
+        inputs = np.random.default_rng(0).normal(size=(7, 5))
+        path = save_network(network, tmp_path / "model")
+        assert path.suffix == ".npz"
+        restored = load_network(path)
+        np.testing.assert_allclose(restored.forward(inputs), network.forward(inputs))
+
+    def test_load_accepts_path_without_suffix(self, tmp_path):
+        network = mlp(3, [4], 2, seed=1)
+        save_network(network, tmp_path / "model")
+        restored = load_network(tmp_path / "model")
+        assert restored.num_layers == network.num_layers
+
+    def test_architecture_is_preserved(self, tmp_path):
+        network = mlp(4, [6, 5], 2, activation="tanh", seed=2)
+        path = save_network(network, tmp_path / "net.npz")
+        restored = load_network(path)
+        assert restored.get_config() == network.get_config()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_network(tmp_path / "nothing-here.npz")
+
+    def test_non_network_npz_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(SerializationError):
+            load_network(path)
+
+    def test_creates_parent_directories(self, tmp_path):
+        network = mlp(3, [4], 2, seed=3)
+        nested = tmp_path / "deep" / "nested" / "model.npz"
+        save_network(network, nested)
+        assert nested.exists()

@@ -1,0 +1,126 @@
+"""Tests for the training loop and high-level training helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.nn.losses import one_hot
+from repro.nn.network import mlp
+from repro.nn.optimizers import get_optimizer
+from repro.nn.training import (
+    Trainer,
+    accuracy,
+    predict_probabilities,
+    train_classifier,
+    train_regressor,
+)
+
+
+def make_linearly_separable(num_samples=120, seed=0):
+    """Two Gaussian blobs that a small MLP separates easily."""
+    rng = np.random.default_rng(seed)
+    half = num_samples // 2
+    class0 = rng.normal(loc=-1.0, scale=0.4, size=(half, 2))
+    class1 = rng.normal(loc=+1.0, scale=0.4, size=(half, 2))
+    inputs = np.vstack([class0, class1])
+    labels = np.concatenate([np.zeros(half, dtype=int), np.ones(half, dtype=int)])
+    order = rng.permutation(num_samples)
+    return inputs[order], labels[order]
+
+
+class TestTrainer:
+    def test_fit_reduces_training_loss(self):
+        rng = np.random.default_rng(1)
+        inputs = rng.uniform(-1, 1, size=(80, 3))
+        targets = (inputs @ np.array([[1.0], [-2.0], [0.5]])) + 0.3
+        network = mlp(3, [16], 1, seed=2)
+        trainer = Trainer(
+            network,
+            loss="mse",
+            optimizer=get_optimizer("adam", learning_rate=0.01),
+            batch_size=16,
+            seed=3,
+        )
+        history = trainer.fit(inputs, targets, epochs=25)
+        assert history.epochs == 25
+        assert history.train_loss[-1] < history.train_loss[0] * 0.2
+
+    def test_validation_loss_is_tracked(self):
+        inputs, labels = make_linearly_separable()
+        targets = one_hot(labels, 2)
+        network = mlp(2, [8], 2, seed=0)
+        trainer = Trainer(network, loss="softmax_cross_entropy", seed=1)
+        history = trainer.fit(
+            inputs[:80], targets[:80], epochs=5, validation_data=(inputs[80:], targets[80:])
+        )
+        assert len(history.validation_loss) == history.epochs
+
+    def test_early_stopping_halts_training(self):
+        rng = np.random.default_rng(4)
+        inputs = rng.normal(size=(40, 2))
+        targets = rng.normal(size=(40, 1))  # pure noise: validation cannot improve long
+        network = mlp(2, [4], 1, seed=5)
+        trainer = Trainer(network, loss="mse", optimizer="sgd", seed=6)
+        history = trainer.fit(
+            inputs[:30],
+            targets[:30],
+            epochs=200,
+            validation_data=(inputs[30:], targets[30:]),
+            early_stopping_patience=3,
+        )
+        assert history.epochs < 200
+
+    def test_early_stopping_without_validation_rejected(self):
+        network = mlp(2, [4], 1, seed=0)
+        trainer = Trainer(network)
+        with pytest.raises(ConfigurationError):
+            trainer.fit(np.zeros((4, 2)), np.zeros((4, 1)), early_stopping_patience=2)
+
+    def test_sample_count_mismatch_rejected(self):
+        network = mlp(2, [4], 1, seed=0)
+        trainer = Trainer(network)
+        with pytest.raises(ShapeError):
+            trainer.fit(np.zeros((4, 2)), np.zeros((5, 1)))
+
+    def test_invalid_batch_size_rejected(self):
+        network = mlp(2, [4], 1, seed=0)
+        with pytest.raises(ConfigurationError):
+            Trainer(network, batch_size=0)
+
+    def test_history_summary_mentions_losses(self):
+        network = mlp(2, [4], 1, seed=0)
+        trainer = Trainer(network, seed=0)
+        history = trainer.fit(np.zeros((8, 2)), np.zeros((8, 1)), epochs=2)
+        assert "train_loss" in history.summary()
+        assert history.best_validation_loss() is None
+
+
+class TestHighLevelHelpers:
+    def test_train_classifier_reaches_high_accuracy(self):
+        inputs, labels = make_linearly_separable(seed=7)
+        network = mlp(2, [12], 2, seed=8)
+        history = train_classifier(
+            network, inputs, labels, num_classes=2, epochs=30, seed=9
+        )
+        assert accuracy(network, inputs, labels) > 0.9
+        assert history.train_metric[-1] > 0.9
+
+    def test_train_regressor_fits_linear_map(self):
+        rng = np.random.default_rng(10)
+        inputs = rng.uniform(-1, 1, size=(100, 2))
+        targets = inputs @ np.array([[2.0], [-1.0]])
+        network = mlp(2, [16], 1, seed=11)
+        train_regressor(network, inputs, targets, epochs=40, seed=12)
+        predictions = network.forward(inputs)
+        assert np.mean((predictions - targets) ** 2) < 0.05
+
+    def test_predict_probabilities_rows_sum_to_one(self):
+        inputs, labels = make_linearly_separable(seed=13)
+        network = mlp(2, [6], 2, seed=14)
+        probabilities = predict_probabilities(network, inputs)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_accuracy_shape_mismatch_rejected(self):
+        network = mlp(2, [4], 2, seed=0)
+        with pytest.raises(ShapeError):
+            accuracy(network, np.zeros((3, 2)), np.zeros(4, dtype=int))

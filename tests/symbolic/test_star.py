@@ -1,0 +1,137 @@
+"""Tests for the star-set abstract domain (LP-backed bounds and ReLU)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.symbolic.interval import Box
+from repro.symbolic.star import StarSet
+
+
+class TestConstruction:
+    def test_from_box_bounds_match_box(self):
+        box = Box(np.array([-1.0, 0.0]), np.array([1.0, 2.0]))
+        star = StarSet.from_box(box)
+        low, high = star.bounds()
+        np.testing.assert_allclose(low, box.low, atol=1e-7)
+        np.testing.assert_allclose(high, box.high, atol=1e-7)
+
+    def test_from_point_is_degenerate(self):
+        star = StarSet.from_point(np.array([3.0, -2.0]))
+        low, high = star.bounds()
+        np.testing.assert_allclose(low, [3.0, -2.0])
+        np.testing.assert_allclose(high, [3.0, -2.0])
+
+    def test_bad_basis_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            StarSet(np.zeros(2), np.zeros((1, 3)))
+
+    def test_constraint_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            StarSet(np.zeros(2), np.eye(2), np.zeros((1, 3)), np.zeros(1))
+
+    def test_is_empty_detects_infeasible_constraints(self):
+        # alpha <= -1 and alpha >= +1 simultaneously.
+        star = StarSet(
+            np.zeros(1),
+            np.ones((1, 1)),
+            np.array([[1.0], [-1.0]]),
+            np.array([-1.0, -1.0]),
+        )
+        assert star.is_empty()
+        assert not StarSet.from_point(np.zeros(1)).is_empty()
+
+
+class TestAffine:
+    def test_affine_exactness_matches_interval_arithmetic_for_single_layer(self):
+        box = Box(np.array([0.0, -1.0]), np.array([1.0, 1.0]))
+        star = StarSet.from_box(box)
+        weights = np.array([[1.0, 2.0], [1.0, -1.0]])
+        bias = np.array([0.0, 0.5])
+        low, high = star.affine(weights, bias).bounds()
+        expected = box.affine(weights, bias)
+        np.testing.assert_allclose(low, expected.low, atol=1e-7)
+        np.testing.assert_allclose(high, expected.high, atol=1e-7)
+
+    def test_affine_dimension_mismatch_rejected(self):
+        star = StarSet.from_point(np.zeros(2))
+        with pytest.raises(ShapeError):
+            star.affine(np.zeros((3, 1)), np.zeros(1))
+
+    def test_star_tighter_or_equal_to_box_after_two_layers(self):
+        rng = np.random.default_rng(11)
+        box = Box.from_center(rng.normal(size=3), 0.4)
+        w1, b1 = rng.normal(size=(3, 5)), rng.normal(size=5)
+        w2, b2 = rng.normal(size=(5, 2)), rng.normal(size=2)
+        box_image = box.affine(w1, b1).affine(w2, b2)
+        star_image = StarSet.from_box(box).affine(w1, b1).affine(w2, b2).to_box()
+        assert star_image.width_sum() <= box_image.width_sum() + 1e-6
+        assert box_image.contains_box(star_image, tolerance=1e-6)
+
+
+class TestReLU:
+    def test_stable_negative_dimension_is_zeroed(self):
+        star = StarSet(np.array([-3.0]), np.array([[0.5]]))
+        low, high = star.relu().bounds()
+        np.testing.assert_allclose(low, [0.0], atol=1e-9)
+        np.testing.assert_allclose(high, [0.0], atol=1e-9)
+
+    def test_stable_positive_dimension_unchanged(self):
+        star = StarSet(np.array([3.0]), np.array([[0.5]]))
+        low, high = star.relu().bounds()
+        np.testing.assert_allclose(low, [2.5], atol=1e-7)
+        np.testing.assert_allclose(high, [3.5], atol=1e-7)
+
+    def test_unstable_dimension_triangle_relaxation_bounds(self):
+        star = StarSet(np.array([0.5]), np.array([[1.5]]))  # pre-activation [-1, 2]
+        low, high = star.relu().bounds()
+        assert low[0] <= 1e-7
+        assert high[0] >= 2.0 - 1e-7
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5_000))
+    def test_relu_soundness_property(self, seed):
+        rng = np.random.default_rng(seed)
+        box = Box.from_center(rng.normal(size=3), rng.uniform(0.1, 1.0, size=3))
+        star = StarSet.from_box(box)
+        weights = rng.normal(size=(3, 3))
+        bias = rng.normal(size=3)
+        transformed = star.affine(weights, bias).relu()
+        out_box = transformed.to_box()
+        for point in box.sample(30, rng=rng):
+            concrete = np.maximum(point @ weights + bias, 0.0)
+            assert out_box.contains(concrete, tolerance=1e-6)
+
+    def test_star_relu_at_least_as_tight_as_box_relu(self):
+        rng = np.random.default_rng(23)
+        box = Box.from_center(rng.normal(size=4), 0.6)
+        weights, bias = rng.normal(size=(4, 4)), rng.normal(size=4)
+        box_out = box.affine(weights, bias).elementwise_monotone(
+            lambda x: np.maximum(x, 0.0)
+        )
+        star_out = StarSet.from_box(box).affine(weights, bias).relu().to_box()
+        assert star_out.width_sum() <= box_out.width_sum() + 1e-6
+
+
+class TestSamplingAndMonotone:
+    def test_elementwise_monotone_matches_box_transform(self):
+        star = StarSet.from_box(Box(np.array([-1.0]), np.array([2.0])))
+        image = star.elementwise_monotone(lambda lo, hi: (np.tanh(lo), np.tanh(hi)))
+        low, high = image.bounds()
+        np.testing.assert_allclose(low, np.tanh([-1.0]), atol=1e-7)
+        np.testing.assert_allclose(high, np.tanh([2.0]), atol=1e-7)
+
+    def test_sample_returns_points_inside_bounding_box(self):
+        box = Box(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+        star = StarSet.from_box(box)
+        samples = star.sample(20, rng=np.random.default_rng(0))
+        bounding = star.to_box()
+        for sample in samples:
+            assert bounding.contains(sample, tolerance=1e-6)
+
+    def test_sample_of_point_star_returns_center(self):
+        star = StarSet.from_point(np.array([1.0, 2.0]))
+        samples = star.sample(5)
+        np.testing.assert_allclose(samples, np.tile([1.0, 2.0], (5, 1)))

@@ -1,0 +1,151 @@
+"""Tests for the zonotope abstract domain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ShapeError
+from repro.symbolic.interval import Box
+from repro.symbolic.zonotope import Zonotope
+
+
+class TestConstruction:
+    def test_from_box_round_trips_to_same_box(self):
+        box = Box(np.array([-1.0, 2.0, 0.0]), np.array([1.0, 3.0, 0.0]))
+        zonotope = Zonotope.from_box(box)
+        recovered = zonotope.to_box()
+        np.testing.assert_allclose(recovered.low, box.low)
+        np.testing.assert_allclose(recovered.high, box.high)
+
+    def test_degenerate_dimensions_get_no_generator(self):
+        box = Box(np.array([0.0, 1.0]), np.array([0.0, 2.0]))
+        zonotope = Zonotope.from_box(box)
+        assert zonotope.num_generators == 1
+
+    def test_from_point_has_no_generators(self):
+        zonotope = Zonotope.from_point(np.array([1.0, 2.0]))
+        assert zonotope.num_generators == 0
+        np.testing.assert_array_equal(zonotope.radius(), [0.0, 0.0])
+
+    def test_bad_generator_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            Zonotope(np.zeros(3), np.zeros((2, 4)))
+
+
+class TestAffine:
+    def test_affine_is_exact_for_linear_maps(self):
+        box = Box(np.array([0.0, -1.0]), np.array([2.0, 1.0]))
+        zonotope = Zonotope.from_box(box)
+        weights = np.array([[1.0, 1.0], [1.0, -1.0]])
+        bias = np.array([0.5, 0.0])
+        image = zonotope.affine(weights, bias)
+        image_box = image.to_box()
+        # dim 0: x0 + x1 + 0.5 with x0 in [0,2], x1 in [-1,1] -> [-0.5, 3.5]
+        # dim 1: x0 - x1                                      -> [-1.0, 3.0]
+        np.testing.assert_allclose(image_box.low, [-0.5, -1.0])
+        np.testing.assert_allclose(image_box.high, [3.5, 3.0])
+
+    def test_affine_dimension_mismatch_rejected(self):
+        zonotope = Zonotope.from_point(np.zeros(2))
+        with pytest.raises(ShapeError):
+            zonotope.affine(np.zeros((3, 2)), np.zeros(2))
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_affine_soundness_property(self, seed):
+        """Concrete affine images of sampled points stay in the zonotope box."""
+        rng = np.random.default_rng(seed)
+        center = rng.normal(size=3)
+        box = Box.from_center(center, rng.uniform(0.0, 1.0, size=3))
+        zonotope = Zonotope.from_box(box)
+        weights = rng.normal(size=(3, 4))
+        bias = rng.normal(size=4)
+        image_box = zonotope.affine(weights, bias).to_box()
+        for point in box.sample(50, rng=rng):
+            assert image_box.contains(point @ weights + bias, tolerance=1e-7)
+
+    def test_zonotope_tighter_than_box_after_two_affine_layers(self):
+        """Correlation tracking makes zonotopes at least as tight as boxes."""
+        rng = np.random.default_rng(3)
+        box = Box.from_center(rng.normal(size=4), 0.5)
+        w1, b1 = rng.normal(size=(4, 6)), rng.normal(size=6)
+        w2, b2 = rng.normal(size=(6, 3)), rng.normal(size=3)
+        box_image = box.affine(w1, b1).affine(w2, b2)
+        zonotope_image = Zonotope.from_box(box).affine(w1, b1).affine(w2, b2).to_box()
+        assert zonotope_image.width_sum() <= box_image.width_sum() + 1e-9
+        assert box_image.contains_box(zonotope_image, tolerance=1e-9)
+
+
+class TestReLU:
+    def test_stable_positive_neurons_unchanged(self):
+        zonotope = Zonotope(np.array([2.0]), np.array([[0.5]]))
+        image = zonotope.relu().to_box()
+        np.testing.assert_allclose(image.low, [1.5])
+        np.testing.assert_allclose(image.high, [2.5])
+
+    def test_stable_negative_neurons_become_zero(self):
+        zonotope = Zonotope(np.array([-2.0]), np.array([[0.5]]))
+        image = zonotope.relu().to_box()
+        np.testing.assert_allclose(image.low, [0.0])
+        np.testing.assert_allclose(image.high, [0.0])
+
+    def test_unstable_neuron_bounds_contain_relu_image(self):
+        zonotope = Zonotope(np.array([0.0]), np.array([[1.0]]))  # pre-activation [-1, 1]
+        image = zonotope.relu().to_box()
+        assert image.low[0] <= 0.0 + 1e-12
+        assert image.high[0] >= 1.0 - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_relu_soundness_property(self, seed):
+        rng = np.random.default_rng(seed)
+        center = rng.normal(size=4)
+        generators = rng.normal(size=(3, 4)) * 0.5
+        zonotope = Zonotope(center, generators)
+        image_box = zonotope.relu().to_box()
+        eps = rng.uniform(-1, 1, size=(60, 3))
+        points = center[None, :] + eps @ generators
+        outputs = np.maximum(points, 0.0)
+        assert np.all(outputs >= image_box.low[None, :] - 1e-9)
+        assert np.all(outputs <= image_box.high[None, :] + 1e-9)
+
+
+class TestMonotoneAndReduction:
+    def test_elementwise_monotone_uses_bound_transform(self):
+        zonotope = Zonotope(np.array([0.0]), np.array([[2.0]]))
+        image = zonotope.elementwise_monotone(lambda lo, hi: (np.tanh(lo), np.tanh(hi)))
+        box = image.to_box()
+        np.testing.assert_allclose(box.low, np.tanh([-2.0]))
+        np.testing.assert_allclose(box.high, np.tanh([2.0]))
+
+    def test_reduce_generators_keeps_enclosure(self):
+        rng = np.random.default_rng(5)
+        zonotope = Zonotope(rng.normal(size=3), rng.normal(size=(20, 3)))
+        reduced = zonotope.reduce_generators(6)
+        assert reduced.num_generators <= 6
+        original_box = zonotope.to_box()
+        reduced_box = reduced.to_box()
+        assert reduced_box.contains_box(original_box, tolerance=1e-9)
+
+    def test_reduce_generators_noop_when_already_small(self):
+        zonotope = Zonotope(np.zeros(2), np.eye(2))
+        assert zonotope.reduce_generators(5) is zonotope
+
+    def test_reduce_generators_negative_rejected(self):
+        with pytest.raises(ShapeError):
+            Zonotope(np.zeros(2), np.eye(2)).reduce_generators(-1)
+
+
+class TestSampling:
+    def test_samples_lie_in_bounding_box(self):
+        rng = np.random.default_rng(7)
+        zonotope = Zonotope(rng.normal(size=3), rng.normal(size=(5, 3)))
+        box = zonotope.to_box()
+        for sample in zonotope.sample(50, rng=rng):
+            assert box.contains(sample, tolerance=1e-9)
+
+    def test_translate_moves_center_only(self):
+        zonotope = Zonotope(np.zeros(2), np.eye(2)).translate(np.array([1.0, 2.0]))
+        np.testing.assert_array_equal(zonotope.center, [1.0, 2.0])
+        assert zonotope.num_generators == 2

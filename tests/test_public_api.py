@@ -1,0 +1,103 @@
+"""Tests of the top-level public API surface.
+
+A downstream user should be able to drive the whole reproduction from
+``import repro``: these tests pin the exported names, check that ``__all__``
+matches what is actually importable, and exercise the documented quickstart
+path at a miniature scale.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_are_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists '{name}' but it is missing"
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "Sequential",
+            "mlp",
+            "Box",
+            "Zonotope",
+            "StarSet",
+            "MinMaxMonitor",
+            "RobustMinMaxMonitor",
+            "BooleanPatternMonitor",
+            "RobustBooleanPatternMonitor",
+            "IntervalPatternMonitor",
+            "RobustIntervalPatternMonitor",
+            "MonitorBuilder",
+            "ClassConditionalMonitor",
+            "MonitorEnsemble",
+            "PerturbationSpec",
+            "MonitorPipeline",
+            "build_track_workload",
+            "build_digits_workload",
+            "default_monitored_layer",
+            "ReproError",
+        ],
+    )
+    def test_key_symbols_in_all(self, name):
+        assert name in repro.__all__
+
+    def test_exception_hierarchy(self):
+        for exc in (
+            repro.ConfigurationError,
+            repro.ShapeError,
+            repro.LayerIndexError,
+            repro.NotFittedError,
+            repro.PropagationError,
+            repro.SerializationError,
+            repro.DataError,
+        ):
+            assert issubclass(exc, repro.ReproError)
+            assert issubclass(exc, Exception)
+
+    def test_subpackage_exports(self):
+        from repro.eval import monitorability_report  # noqa: F401
+        from repro.monitors import EnvelopeDistanceMonitor, save_monitor  # noqa: F401
+        from repro.bdd import BDDManager, PatternSet  # noqa: F401
+        from repro.data import generate_track_dataset  # noqa: F401
+
+
+class TestDocumentedQuickstartPath:
+    def test_quickstart_sequence_runs(self):
+        """The README quickstart, at miniature scale."""
+        workload = repro.build_track_workload(num_samples=80, epochs=2, seed=0)
+        pipeline = repro.MonitorPipeline(
+            workload,
+            family="minmax",
+            perturbation=repro.PerturbationSpec(delta=0.01, layer=0, method="box"),
+        )
+        result = pipeline.run()
+        standard = result.score("standard")
+        robust = result.score("robust")
+        assert robust.false_positive_rate <= standard.false_positive_rate
+        assert isinstance(result.format(), str)
+
+    def test_direct_monitor_usage(self):
+        """The README 'using the monitors directly' snippet, at miniature scale."""
+        rng = np.random.default_rng(0)
+        network = repro.mlp(input_dim=12, hidden_dims=[8], output_dim=2, seed=0)
+        train_inputs = rng.random((40, 12))
+        standard = repro.BooleanPatternMonitor(network, layer_index=2, thresholds="mean")
+        standard.fit(train_inputs)
+        robust = repro.RobustBooleanPatternMonitor(
+            network,
+            layer_index=2,
+            perturbation=repro.PerturbationSpec(delta=0.01),
+            thresholds="mean",
+        )
+        robust.fit(train_inputs)
+        frame = rng.random(12)
+        assert isinstance(standard.warn(frame), bool)
+        assert isinstance(robust.warn(frame), bool)
+        assert not np.any(robust.warn_batch(train_inputs))
