@@ -7,13 +7,31 @@ a trained synthetic-digit classifier, each with in-ODD evaluation data
 scenario suites of the paper.
 
 Benchmarks print the paper-style result tables; run with ``-s`` to see them,
-e.g. ``pytest benchmarks/ --benchmark-only -s``.
+e.g. ``pytest benchmarks/ -m benchmark -s``.  Every benchmark is marked both
+``benchmark`` and ``slow``, so the default tier-1 run (``-m "not slow"``)
+skips them; select them explicitly with ``-m benchmark``.
+
+Setting ``REPRO_BENCH_QUICK=1`` shrinks the session workloads (fewer samples
+and epochs) for a fast CI smoke run, typically combined with
+``--benchmark-disable`` so each benchmark body executes exactly once.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+#: Quick-mode switch for CI smoke runs.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+def pytest_collection_modifyitems(items):
+    # Every test here already carries @pytest.mark.benchmark(...); the extra
+    # ``slow`` marker keeps them out of the default ``-m "not slow"`` run.
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 from repro.core.pipeline import (
     MonitoringWorkload,
@@ -34,6 +52,8 @@ DIGITS_DELTA = 0.005
 
 @pytest.fixture(scope="session")
 def track_workload() -> MonitoringWorkload:
+    if QUICK:
+        return build_track_workload(num_samples=200, epochs=5, seed=100)
     return build_track_workload(num_samples=360, epochs=10, seed=100)
 
 
@@ -60,6 +80,8 @@ def track_experiment(track_workload) -> MonitorExperiment:
 
 @pytest.fixture(scope="session")
 def digits_workload() -> MonitoringWorkload:
+    if QUICK:
+        return build_digits_workload(num_samples=250, num_classes=5, epochs=5, seed=200)
     return build_digits_workload(num_samples=400, num_classes=5, epochs=10, seed=200)
 
 

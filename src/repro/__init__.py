@@ -9,6 +9,9 @@ of Neuron Activation Patterns" (DATE 2021).  The library provides:
   used for the perturbation estimate of Definition 1;
 * :mod:`repro.bdd` — a reduced ordered BDD manager and the pattern-set
   wrapper implementing ``word2set``;
+* :mod:`repro.runtime` — the vectorised bit-packed pattern substrate: codec
+  (batched binarisation, ternary bit-planes), TCAM-style membership matcher
+  and the batched scoring engine with its per-layer activation cache;
 * :mod:`repro.monitors` — the paper's contribution: min-max, Boolean on/off
   and multi-bit interval activation monitors, each with a standard and a
   provably-robust variant;
@@ -31,6 +34,7 @@ True
 """
 
 from .core import (
+    DEFAULT_PERTURBATION,
     MonitoringWorkload,
     MonitorPipeline,
     build_digits_workload,
@@ -61,6 +65,7 @@ from .monitors import (
     RobustMinMaxMonitor,
 )
 from .nn import Sequential, mlp
+from .runtime import BatchScoringEngine, PatternCodec
 from .symbolic import Box, StarSet, Zonotope, perturbation_bounds, propagate_bounds
 
 __version__ = "1.0.0"
@@ -97,7 +102,11 @@ __all__ = [
     "ClassConditionalMonitor",
     "MonitorEnsemble",
     "PerturbationSpec",
+    # runtime
+    "PatternCodec",
+    "BatchScoringEngine",
     # pipelines
+    "DEFAULT_PERTURBATION",
     "MonitoringWorkload",
     "MonitorPipeline",
     "build_track_workload",

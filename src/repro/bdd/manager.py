@@ -103,7 +103,12 @@ class BDDManager:
     # core operator: if-then-else
     # ------------------------------------------------------------------
     def ite(self, f: int, g: int, h: int) -> int:
-        """Return the BDD of ``(f ∧ g) ∨ (¬f ∧ h)``."""
+        """Return the BDD of ``(f ∧ g) ∨ (¬f ∧ h)``.
+
+        The recursion is the textbook one; locals are bound aggressively and
+        the cofactor expansion is inlined because this is the single hottest
+        loop of the BDD subsystem (every pattern insertion funnels into it).
+        """
         # Terminal shortcuts.
         if f == TRUE:
             return g
@@ -114,17 +119,46 @@ class BDDManager:
         if g == TRUE and h == FALSE:
             return f
         key = (f, g, h)
-        cached = self._ite_cache.get(key)
+        cache = self._ite_cache
+        cached = cache.get(key)
         if cached is not None:
             return cached
-        top = min(self._var[f], self._var[g], self._var[h])
-        f_low, f_high = self._cofactors(f, top)
-        g_low, g_high = self._cofactors(g, top)
-        h_low, h_high = self._cofactors(h, top)
+        var = self._var
+        lows = self._low
+        highs = self._high
+        f_var, g_var, h_var = var[f], var[g], var[h]
+        top = f_var
+        if g_var < top:
+            top = g_var
+        if h_var < top:
+            top = h_var
+        if f_var == top:
+            f_low, f_high = lows[f], highs[f]
+        else:
+            f_low = f_high = f
+        if g_var == top:
+            g_low, g_high = lows[g], highs[g]
+        else:
+            g_low = g_high = g
+        if h_var == top:
+            h_low, h_high = lows[h], highs[h]
+        else:
+            h_low = h_high = h
         low = self.ite(f_low, g_low, h_low)
         high = self.ite(f_high, g_high, h_high)
-        result = self._make(top, low, high)
-        self._ite_cache[key] = result
+        if low == high:
+            result = low
+        else:
+            unique_key = (top, low, high)
+            unique = self._unique
+            result = unique.get(unique_key)
+            if result is None:
+                result = len(var)
+                var.append(top)
+                lows.append(low)
+                highs.append(high)
+                unique[unique_key] = result
+        cache[key] = result
         return result
 
     def _cofactors(self, ref: int, var: int) -> Tuple[int, int]:
@@ -167,6 +201,29 @@ class BDDManager:
             if result == TRUE:
                 return TRUE
         return result
+
+    def disjoin_balanced(self, refs: Sequence[int]) -> int:
+        """Disjunction by balanced pairwise reduction.
+
+        Equivalent to :meth:`disjoin` but merges operands tournament-style,
+        which keeps the intermediate BDDs small when unioning many cubes at
+        once (the bulk-insertion fast path of
+        :meth:`repro.bdd.patterns.PatternSet.add_patterns`).
+        """
+        level: List[int] = [ref for ref in refs if ref != FALSE]
+        if not level:
+            return FALSE
+        while len(level) > 1:
+            merged: List[int] = []
+            for index in range(0, len(level) - 1, 2):
+                result = self.apply_or(level[index], level[index + 1])
+                if result == TRUE:
+                    return TRUE
+                merged.append(result)
+            if len(level) % 2:
+                merged.append(level[-1])
+            level = merged
+        return level[0]
 
     # ------------------------------------------------------------------
     # structural operations
@@ -303,15 +360,34 @@ class BDDManager:
 
         This is exactly the paper's ``word2set`` trick: a ternary word with
         don't-cares becomes the cube over its constrained positions only, so
-        the BDD size is linear in the number of constrained bits.
+        the BDD size is linear in the number of constrained bits.  Built
+        bottom-up with the hash-consing inlined — one pattern insertion calls
+        this once per word, making it the second-hottest BDD loop after
+        :meth:`ite`.
         """
+        num_vars = self.num_vars
+        unique = self._unique
+        var_list = self._var
+        low_list = self._low
+        high_list = self._high
         result = TRUE
         for var in sorted(literals, reverse=True):
-            self._check_var(var)
-            value = literals[var]
-            child_low = FALSE if value else result
-            child_high = result if value else FALSE
-            result = self._make(var, child_low, child_high)
+            if not 0 <= var < num_vars:
+                raise ConfigurationError(
+                    f"variable index {var} outside [0, {num_vars})"
+                )
+            if literals[var]:
+                key = (var, FALSE, result)
+            else:
+                key = (var, result, FALSE)
+            ref = unique.get(key)
+            if ref is None:
+                ref = len(var_list)
+                var_list.append(var)
+                low_list.append(key[1])
+                high_list.append(key[2])
+                unique[key] = ref
+            result = ref
         return result
 
     def from_assignment(self, assignment: Sequence[bool]) -> int:

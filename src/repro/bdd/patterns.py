@@ -1,20 +1,30 @@
-"""Activation-pattern sets stored in BDDs.
+"""Activation-pattern sets stored in BDDs with a vectorised packed mirror.
 
 Monitors built from Boolean (one bit per neuron) or interval (multiple bits
 per neuron) abstractions need a set data structure over fixed-width binary
 words that supports:
 
-* insertion of a fully specified word;
-* insertion of a *ternary* word containing don't-care symbols — the paper's
-  ``word2set`` — without enumerating the exponential expansion;
-* insertion of a word whose positions carry *sets* of admissible codes (the
-  robust interval monitor of Section III-C);
-* membership queries, Hamming-distance-relaxed membership, cardinality and
-  size introspection.
+* insertion of fully specified words — one at a time or as a deduplicated
+  bit-packed batch (:meth:`PatternSet.add_patterns`);
+* insertion of *ternary* words containing don't-care symbols — the paper's
+  ``word2set`` — without enumerating the exponential expansion, again one at
+  a time or as batched value/mask bit-planes;
+* insertion of words whose positions carry *sets* of admissible codes (the
+  robust interval monitor of Section III-C), with a bulk code-range variant;
+* membership queries (single word or a whole batch at once),
+  Hamming-distance-relaxed membership, cardinality and size introspection.
 
-:class:`PatternSet` wraps a :class:`~repro.bdd.manager.BDDManager` with this
-vocabulary.  Bits are mapped to BDD variables in word order (bit 0 of neuron
-0 first), matching the paper's example encoding ``(¬b10) ∧ (b20 ∨ b21) ∧ …``.
+Two synchronised representations back the set.  The **BDD** (via
+:class:`~repro.bdd.manager.BDDManager`) is canonical: model counting, DAG
+size and Hamming relaxation come from it, and bits map to BDD variables in
+word order (bit 0 of neuron 0 first), matching the paper's example encoding
+``(¬b10) ∧ (b20 ∨ b21) ∧ …``.  The **packed mirror**
+(:class:`~repro.runtime.matcher.PackedMatcher`) stores the same patterns as
+flat NumPy structures and answers :meth:`PatternSet.contains_batch` with a
+few broadcast kernels instead of one BDD walk per row.  Every insertion API
+updates both; if a pattern ever cannot be mirrored exactly (a non-contiguous
+admissible code set), the mirror degrades to a sound pre-filter and batched
+queries fall back to the BDD for unresolved rows.
 """
 
 from __future__ import annotations
@@ -22,7 +32,12 @@ from __future__ import annotations
 from itertools import combinations
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..exceptions import ConfigurationError
+from ..runtime.codec import TernaryPlanes, WordCodec
+from ..runtime.matcher import PackedMatcher
+from ..runtime.packing import unpack_bool_matrix
 from .manager import FALSE, TRUE, BDDManager
 
 __all__ = ["TernarySymbol", "PatternSet", "DONT_CARE"]
@@ -54,6 +69,9 @@ class PatternSet:
         self.bits_per_position = int(bits_per_position)
         self.num_bits = self.num_positions * self.bits_per_position
         self.manager = BDDManager(self.num_bits)
+        self.codec = WordCodec(self.num_positions, self.bits_per_position)
+        self._matcher = PackedMatcher(self.codec)
+        self._mirror_complete = True
         self._root = FALSE
         self._insertions = 0
 
@@ -93,6 +111,21 @@ class PatternSet:
             assignment.extend(self._code_bits(int(code)))
         return assignment
 
+    def _validate_code_matrix(self, words: np.ndarray) -> np.ndarray:
+        words = np.atleast_2d(np.asarray(words, dtype=np.int64))
+        if words.ndim != 2 or words.shape[1] != self.num_positions:
+            raise ConfigurationError(
+                f"words have {words.shape[-1]} positions, expected "
+                f"{self.num_positions}"
+            )
+        if words.size and (
+            words.min() < 0 or words.max() >= (1 << self.bits_per_position)
+        ):
+            raise ConfigurationError(
+                f"codes must fit in {self.bits_per_position} bits"
+            )
+        return words
+
     # ------------------------------------------------------------------
     # insertion
     # ------------------------------------------------------------------
@@ -103,15 +136,54 @@ class PatternSet:
 
     @property
     def insertions(self) -> int:
-        """Number of insert calls performed so far."""
+        """Number of inserted patterns (bulk inserts count each row)."""
         return self._insertions
+
+    def _pack_bits_python(self, true_indices: Iterable[int]) -> List[int]:
+        """Cheap single-row packer (pure-int bit twiddling, no array temps)."""
+        machine_words = [0] * self.codec.num_words
+        for index in true_indices:
+            machine_words[index >> 6] |= 1 << (index & 63)
+        return machine_words
+
+    @staticmethod
+    def _row_bytes(machine_words: Sequence[int]) -> bytes:
+        """Little-endian byte image of a packed row (the exact-set hash key)."""
+        return b"".join(word.to_bytes(8, "little") for word in machine_words)
 
     def add_word(self, word: Sequence[int]) -> None:
         """Insert a fully specified word (one integer code per position)."""
         assignment = self._word_to_assignment(word)
         cube = self.manager.from_assignment(assignment)
         self._root = self.manager.apply_or(self._root, cube)
+        self._matcher.add_exact_bytes(
+            self._row_bytes(
+                self._pack_bits_python(
+                    index for index, bit in enumerate(assignment) if bit
+                )
+            )
+        )
         self._insertions += 1
+
+    def add_patterns(self, words: np.ndarray) -> None:
+        """Bulk-insert a ``(N, num_positions)`` matrix of code words.
+
+        The batch is bit-packed, deduplicated, and unioned into the BDD with
+        a balanced disjunction over the distinct cubes — far cheaper than one
+        :meth:`add_word` per sample when training batches repeat patterns.
+        """
+        words = self._validate_code_matrix(words)
+        if words.shape[0] == 0:
+            return
+        packed = self.codec.pack_codes(words)
+        unique = np.unique(packed, axis=0)
+        bit_rows = unpack_bool_matrix(unique, self.num_bits)
+        cubes = [self.manager.from_assignment(list(row)) for row in bit_rows]
+        self._root = self.manager.apply_or(
+            self._root, self.manager.disjoin_balanced(cubes)
+        )
+        self._matcher.add_exact_packed(packed)
+        self._insertions += int(words.shape[0])
 
     def add_ternary_word(self, word: Sequence[object]) -> None:
         """Insert a ternary word of ``0`` / ``1`` / :data:`DONT_CARE` symbols.
@@ -129,15 +201,57 @@ class PatternSet:
                 f"word has {len(word)} positions, expected {self.num_positions}"
             )
         literals = {}
+        value_words = [0] * self.codec.num_words
+        mask_words = [0] * self.codec.num_words
         for position, symbol in enumerate(word):
             if symbol == DONT_CARE:
                 continue
             if symbol not in (0, 1, True, False):
                 raise ConfigurationError(f"invalid ternary symbol {symbol!r}")
-            literals[self.bit_index(position, 0)] = bool(symbol)
+            value = bool(symbol)
+            literals[position] = value
+            mask_words[position >> 6] |= 1 << (position & 63)
+            if value:
+                value_words[position >> 6] |= 1 << (position & 63)
         cube = self.manager.cube(literals)
         self._root = self.manager.apply_or(self._root, cube)
+        if len(literals) == self.num_positions:
+            self._matcher.add_exact_bytes(self._row_bytes(value_words))
+        else:
+            self._matcher.add_ternary_raw(value_words, mask_words)
         self._insertions += 1
+
+    def add_ternary_patterns(self, planes: TernaryPlanes) -> None:
+        """Bulk-insert ternary words given as value/mask bit-planes.
+
+        Each row contributes the cube over its constrained bits only — the
+        ``word2set`` trick — and the batch of cubes is unioned with a
+        balanced disjunction.
+        """
+        if self.bits_per_position != 1:
+            raise ConfigurationError(
+                "ternary patterns require a 1-bit-per-position pattern set"
+            )
+        if len(planes) == 0:
+            return
+        if planes.values.shape[1] != self.codec.num_words:
+            raise ConfigurationError(
+                "ternary planes do not match this pattern set's word width"
+            )
+        value_bits = unpack_bool_matrix(planes.values, self.num_bits)
+        mask_bits = unpack_bool_matrix(planes.masks, self.num_bits)
+        cubes = []
+        for value_row, mask_row in zip(value_bits, mask_bits):
+            literals = {
+                int(index): bool(value_row[index])
+                for index in np.nonzero(mask_row)[0]
+            }
+            cubes.append(self.manager.cube(literals))
+        self._root = self.manager.apply_or(
+            self._root, self.manager.disjoin_balanced(cubes)
+        )
+        self._matcher.add_ternary(planes)
+        self._insertions += len(planes)
 
     def add_code_sets(self, code_sets: Sequence[Iterable[int]]) -> None:
         """Insert every word whose position ``i`` code lies in ``code_sets[i]``.
@@ -147,13 +261,15 @@ class PatternSet:
         inserted set is the Cartesian product of the per-position sets.  The
         BDD is built as a conjunction over positions of per-position
         disjunctions, so the cost is linear in the total number of listed
-        codes — never in the product.
+        codes — never in the product.  Contiguous sets (the only kind the
+        monotone interval encoding produces) are mirrored exactly; a
+        non-contiguous set degrades batched queries to the BDD fallback.
         """
         if len(code_sets) != self.num_positions:
             raise ConfigurationError(
                 f"expected {self.num_positions} code sets, got {len(code_sets)}"
             )
-        position_bdds: List[int] = []
+        normalised: List[List[int]] = []
         for position, codes in enumerate(code_sets):
             codes = sorted(set(int(code) for code in codes))
             if not codes:
@@ -162,8 +278,69 @@ class PatternSet:
                 )
             for code in codes:
                 self._code_bits(code)  # validates the range
+            normalised.append(codes)
+        contiguous = all(
+            codes[-1] - codes[0] + 1 == len(codes) for codes in normalised
+        )
+        if contiguous:
+            low = np.array([[codes[0] for codes in normalised]], dtype=np.int64)
+            high = np.array([[codes[-1] for codes in normalised]], dtype=np.int64)
+            self.add_range_patterns(low, high)
+            return
+        self._insert_code_sets_bdd(normalised)
+        self._mirror_complete = False
+        self._insertions += 1
+
+    def add_range_patterns(self, low_codes: np.ndarray, high_codes: np.ndarray) -> None:
+        """Bulk-insert words given as per-position contiguous code ranges.
+
+        Row ``i`` inserts the Cartesian product of the ranges
+        ``low_codes[i, p] .. high_codes[i, p]`` — the robust interval
+        abstraction of Section III-C for a whole training batch at once.
+        """
+        low_codes = self._validate_code_matrix(low_codes)
+        high_codes = self._validate_code_matrix(high_codes)
+        if low_codes.shape != high_codes.shape:
+            raise ConfigurationError("low/high code matrices must share a shape")
+        if np.any(low_codes > high_codes):
+            raise ConfigurationError("code range lower end exceeds upper end")
+        if low_codes.shape[0] == 0:
+            return
+        row_bdds = []
+        for low_row, high_row in zip(low_codes, high_codes):
+            row_bdds.append(
+                self._range_row_bdd(
+                    [int(code) for code in low_row], [int(code) for code in high_row]
+                )
+            )
+        self._root = self.manager.apply_or(
+            self._root, self.manager.disjoin_balanced(row_bdds)
+        )
+        self._matcher.add_code_ranges(low_codes, high_codes)
+        self._insertions += int(low_codes.shape[0])
+
+    def _range_row_bdd(self, low_row: Sequence[int], high_row: Sequence[int]) -> int:
+        position_bdds: List[int] = []
+        full = 1 << self.bits_per_position
+        for position, (low, high) in enumerate(zip(low_row, high_row)):
+            if high - low + 1 == full:
+                position_bdds.append(TRUE)
+                continue
+            alternatives = []
+            for code in range(low, high + 1):
+                bits = self._code_bits(code)
+                literals = {
+                    self.bit_index(position, bit): bits[bit]
+                    for bit in range(self.bits_per_position)
+                }
+                alternatives.append(self.manager.cube(literals))
+            position_bdds.append(self.manager.disjoin(alternatives))
+        return self.manager.conjoin(position_bdds)
+
+    def _insert_code_sets_bdd(self, code_sets: Sequence[Sequence[int]]) -> None:
+        position_bdds: List[int] = []
+        for position, codes in enumerate(code_sets):
             if len(codes) == (1 << self.bits_per_position):
-                # Every code admissible: the position is unconstrained.
                 position_bdds.append(TRUE)
                 continue
             alternatives = []
@@ -177,7 +354,6 @@ class PatternSet:
             position_bdds.append(self.manager.disjoin(alternatives))
         cube = self.manager.conjoin(position_bdds)
         self._root = self.manager.apply_or(self._root, cube)
-        self._insertions += 1
 
     def union(self, other: "PatternSet") -> None:
         """In-place union with another pattern set sharing the same shape."""
@@ -188,10 +364,13 @@ class PatternSet:
             raise ConfigurationError("pattern sets have incompatible shapes")
         if other.manager is self.manager:
             self._root = self.manager.apply_or(self._root, other._root)
+            self._matcher.merge(other._matcher)
+            self._mirror_complete = self._mirror_complete and other._mirror_complete
             return
         # Different managers: re-insert other's words (sound but slower).
-        for word in other.iterate_words():
-            self.add_word(word)
+        words = list(other.iterate_words())
+        if words:
+            self.add_patterns(np.asarray(words, dtype=np.int64))
 
     # ------------------------------------------------------------------
     # queries
@@ -200,6 +379,27 @@ class PatternSet:
         """True when the fully specified ``word`` belongs to the set."""
         assignment = self._word_to_assignment(word)
         return self.manager.evaluate(self._root, assignment)
+
+    def contains_batch(self, words: np.ndarray) -> np.ndarray:
+        """Vectorised membership of a ``(N, num_positions)`` code matrix.
+
+        Answered from the packed mirror (hash set + ternary/range broadcast
+        kernels); rows the mirror cannot settle — only possible after a
+        non-contiguous :meth:`add_code_sets` — fall back to one BDD
+        evaluation each.  Agrees with :meth:`contains` row by row.
+        """
+        words = self._validate_code_matrix(words)
+        if words.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        packed = self.codec.pack_codes(words)
+        hits = self._matcher.contains_packed(packed, codes=words)
+        if not self._mirror_complete and not np.all(hits):
+            bit_rows = unpack_bool_matrix(packed, self.num_bits)
+            for index in np.nonzero(~hits)[0]:
+                hits[index] = self.manager.evaluate(
+                    self._root, list(bit_rows[index])
+                )
+        return hits
 
     def contains_within_hamming(self, word: Sequence[int], distance: int) -> bool:
         """Membership relaxed by Hamming distance over *positions*.

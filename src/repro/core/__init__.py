@@ -1,6 +1,7 @@
 """End-to-end pipelines tying networks, monitors, data and evaluation together."""
 
 from .pipeline import (
+    DEFAULT_PERTURBATION,
     MonitoringWorkload,
     MonitorPipeline,
     build_digits_workload,
@@ -9,6 +10,7 @@ from .pipeline import (
 )
 
 __all__ = [
+    "DEFAULT_PERTURBATION",
     "MonitoringWorkload",
     "MonitorPipeline",
     "build_track_workload",

@@ -35,12 +35,19 @@ from ..nn.network import Sequential, mlp
 from ..nn.training import train_classifier, train_regressor
 
 __all__ = [
+    "DEFAULT_PERTURBATION",
     "MonitoringWorkload",
     "MonitorPipeline",
     "default_monitored_layer",
     "build_track_workload",
     "build_digits_workload",
 ]
+
+#: Perturbation model used by :class:`MonitorPipeline` when the caller does
+#: not supply one: pixel-level (``k_p = 0``) box propagation with Δ = 0.05,
+#: the paper's lab-deployment configuration.  Pass an explicit
+#: :class:`~repro.monitors.perturbation.PerturbationSpec` to override it.
+DEFAULT_PERTURBATION = PerturbationSpec(delta=0.05, layer=0, method="box")
 
 
 def default_monitored_layer(network: Sequential) -> int:
@@ -98,10 +105,22 @@ class MonitorPipeline:
     layer_index:
         Monitored layer; ``None`` selects the last hidden activation layer.
     perturbation:
-        Perturbation model for the robust monitor.
+        Perturbation model for the robust monitor; ``None`` uses the
+        documented :data:`DEFAULT_PERTURBATION`.
     options:
         Extra keyword arguments forwarded to both monitor constructors.
     """
+
+    @staticmethod
+    def _resolve_perturbation(
+        perturbation: Optional[PerturbationSpec],
+    ) -> PerturbationSpec:
+        """Single place where the pipeline's perturbation model is defaulted
+        and validated (the robust side of the comparison needs Δ > 0)."""
+        spec = perturbation if perturbation is not None else DEFAULT_PERTURBATION
+        if spec.delta <= 0:
+            raise ConfigurationError("the robust pipeline needs a strictly positive Δ")
+        return spec
 
     def __init__(
         self,
@@ -118,9 +137,7 @@ class MonitorPipeline:
             if layer_index is not None
             else default_monitored_layer(workload.network)
         )
-        self.perturbation = perturbation or PerturbationSpec(delta=0.05, layer=0, method="box")
-        if self.perturbation.delta <= 0:
-            raise ConfigurationError("the robust pipeline needs a strictly positive Δ")
+        self.perturbation = self._resolve_perturbation(perturbation)
         self.options = dict(options)
         self.standard_builder = MonitorBuilder(
             family, self.layer_index, perturbation=None, **self.options

@@ -21,6 +21,7 @@ from ..exceptions import ConfigurationError, ShapeError
 from ..monitors.base import ActivationMonitor
 from ..monitors.builder import ClassConditionalMonitor, MonitorBuilder
 from ..nn.network import Sequential
+from ..runtime.engine import BatchScoringEngine
 from .metrics import MonitorScore, reduction_factor, score_monitor
 from .reporting import format_rate, format_results_table
 
@@ -110,20 +111,49 @@ class MonitorExperiment:
             name: np.atleast_2d(np.asarray(inputs, dtype=np.float64))
             for name, inputs in self.out_of_odd_inputs.items()
         }
+        # Shared batched scoring path: monitors on this experiment's network
+        # reuse one forward pass per evaluation set (cached across monitors
+        # and across repeated evaluate_monitor calls, e.g. parameter sweeps).
+        # The cache must hold every evaluation set at once or sequential
+        # sweeps would evict the entry they need next.
+        self._engine = BatchScoringEngine(
+            self.network,
+            max_cache_entries=len(self.out_of_odd_inputs) + 4,
+        )
 
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> BatchScoringEngine:
+        """The experiment's batched scoring engine (shared activation cache)."""
+        return self._engine
+
     def evaluate_monitor(self, name: str, monitor: MonitorLike) -> MonitorScore:
         """Score one already-fitted monitor on the experiment's evaluation sets."""
-        in_odd_warnings = monitor.warn_batch(self.in_odd_inputs)
-        scenario_warnings = {
-            scenario: monitor.warn_batch(inputs)
+        return self.evaluate_monitors({name: monitor})[name]
+
+    def evaluate_monitors(
+        self, monitors: Mapping[str, MonitorLike]
+    ) -> Dict[str, MonitorScore]:
+        """Score several fitted monitors with shared forward passes."""
+        in_odd = self._engine.score_batch(monitors, self.in_odd_inputs).warns
+        scenario_warns = {
+            scenario: self._engine.score_batch(monitors, inputs).warns
             for scenario, inputs in self.out_of_odd_inputs.items()
         }
-        return score_monitor(name, in_odd_warnings, scenario_warnings)
+        return {
+            name: score_monitor(
+                name,
+                in_odd[name],
+                {
+                    scenario: warns[name]
+                    for scenario, warns in scenario_warns.items()
+                },
+            )
+            for name in monitors
+        }
 
     def run(self, monitors: Mapping[str, MonitorLike]) -> ExperimentResult:
         """Fit (if necessary) and score every monitor in ``monitors``."""
-        result = ExperimentResult()
         for name, monitor in monitors.items():
             if isinstance(monitor, ClassConditionalMonitor):
                 if not monitor.is_fitted:
@@ -136,7 +166,8 @@ class MonitorExperiment:
                     f"monitor '{name}' is neither an ActivationMonitor nor a "
                     "ClassConditionalMonitor"
                 )
-            result.scores[name] = self.evaluate_monitor(name, monitor)
+        result = ExperimentResult()
+        result.scores.update(self.evaluate_monitors(monitors))
         return result
 
     def run_builders(self, builders: Mapping[str, MonitorBuilder]) -> ExperimentResult:

@@ -11,6 +11,11 @@ The interesting axes are:
 Each sweep fits one monitor per parameter value on the same
 :class:`~repro.eval.experiments.MonitorExperiment` and returns a list of row
 dictionaries ready for :func:`~repro.eval.reporting.format_results_table`.
+
+Scoring goes through the experiment's batched engine, whose activation cache
+is keyed by evaluation-set content: the network forward passes are computed
+once for the first parameter value and reused by every subsequent one, so a
+sweep of ``n`` monitors pays for one set of forward passes, not ``n``.
 """
 
 from __future__ import annotations

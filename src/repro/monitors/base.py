@@ -14,12 +14,27 @@ The class hierarchy mirrors the paper:
   fitted directly on feature vectors;
 * robust variants fitted on the perturbation estimates of Definition 1,
   configured through a :class:`~repro.monitors.perturbation.PerturbationSpec`.
+
+Batched API contract
+--------------------
+The batch path is authoritative: subclasses implement
+``_verdicts_from_features`` (and optionally a faster ``_warn_from_features``)
+over a 2-D feature matrix, and the single-sample ``verdict`` / ``warn``
+wrappers delegate to it with a one-row batch.  Feature extraction is one
+vectorised forward pass per batch; because BLAS kernels may differ in the
+last float across batch sizes, comparisons against learned constants use
+small scale-relative tolerances (see :mod:`repro.runtime.codec`) so batch
+and single-sample verdicts agree on any workload.
+``warn_batch_from_layer`` / ``verdict_batch_from_layer`` accept precomputed
+full-layer activations, which is how the
+:class:`~repro.runtime.engine.BatchScoringEngine` shares one forward pass
+across every monitor fitted on the same network.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -117,20 +132,26 @@ class ActivationMonitor:
     def features(self, inputs: np.ndarray) -> np.ndarray:
         """Monitored-layer feature vectors of ``inputs`` (always 2-D).
 
-        Rows are evaluated one at a time so that fit-time (batched data set)
-        and operation-time (single input) evaluations are bit-identical;
-        batched matrix products may otherwise differ in the last float and
-        flip a value sitting exactly on a threshold or envelope boundary.
+        One vectorised forward pass for the whole batch — the runtime hot
+        path.  Fit and scoring both go through here, so abstractions and
+        queries see the same arithmetic for identical batches.
         """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
         if inputs.shape[0] == 0:
             return np.zeros((0, self.num_monitored_neurons))
-        rows = [
-            np.atleast_1d(self.network.forward_to(self.layer_index, row))
-            for row in inputs
-        ]
-        features = np.vstack(rows)
+        features = np.atleast_2d(self.network.forward_to(self.layer_index, inputs))
         return features[:, self.neuron_indices]
+
+    def features_from_layer(self, layer_activations: np.ndarray) -> np.ndarray:
+        """Monitored-neuron slice of precomputed full-layer activations."""
+        layer_activations = np.atleast_2d(np.asarray(layer_activations, dtype=np.float64))
+        expected = self.network.layer_output_dim(self.layer_index)
+        if layer_activations.shape[1] != expected:
+            raise ShapeError(
+                f"layer activations have width {layer_activations.shape[1]}, "
+                f"expected {expected}"
+            )
+        return layer_activations[:, self.neuron_indices]
 
     def _select(self, low: np.ndarray, high: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
         """Restrict per-neuron bounds to the monitored neuron subset."""
@@ -143,21 +164,48 @@ class ActivationMonitor:
         """Build the abstraction from the training data set ``D_tr``."""
         raise NotImplementedError
 
-    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
-        """Full verdict (warning flag + diagnostics) for one input."""
+    def _verdicts_from_features(self, features: np.ndarray) -> List[MonitorVerdict]:
+        """Family-specific batched kernel: one verdict per feature row."""
         raise NotImplementedError
 
+    def _warn_from_features(self, features: np.ndarray) -> np.ndarray:
+        """Warning flags per feature row; subclasses may vectorise further."""
+        verdicts = self._verdicts_from_features(features)
+        return np.fromiter((v.warn for v in verdicts), dtype=bool, count=len(verdicts))
+
     # ------------------------------------------------------------------
-    # convenience wrappers
+    # batched scoring API
     # ------------------------------------------------------------------
-    def warn(self, input_vector: np.ndarray) -> bool:
-        """The paper's ``M(v_op)``: True when the input looks out-of-ODD."""
-        return self.verdict(input_vector).warn
+    def verdict_batch(self, inputs: np.ndarray) -> List[MonitorVerdict]:
+        """Full verdicts for every row of ``inputs`` in one batched pass."""
+        self._require_fitted()
+        return self._verdicts_from_features(self.features(inputs))
 
     def warn_batch(self, inputs: np.ndarray) -> np.ndarray:
         """Vector of warning flags for every row of ``inputs``."""
-        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        return np.array([self.warn(row) for row in inputs], dtype=bool)
+        self._require_fitted()
+        return self._warn_from_features(self.features(inputs))
+
+    def verdict_batch_from_layer(self, layer_activations: np.ndarray) -> List[MonitorVerdict]:
+        """Batched verdicts from precomputed full-layer activations."""
+        self._require_fitted()
+        return self._verdicts_from_features(self.features_from_layer(layer_activations))
+
+    def warn_batch_from_layer(self, layer_activations: np.ndarray) -> np.ndarray:
+        """Batched warning flags from precomputed full-layer activations."""
+        self._require_fitted()
+        return self._warn_from_features(self.features_from_layer(layer_activations))
+
+    # ------------------------------------------------------------------
+    # single-sample wrappers
+    # ------------------------------------------------------------------
+    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
+        """Full verdict (warning flag + diagnostics) for one input."""
+        return self.verdict_batch(np.atleast_2d(np.asarray(input_vector, dtype=np.float64)))[0]
+
+    def warn(self, input_vector: np.ndarray) -> bool:
+        """The paper's ``M(v_op)``: True when the input looks out-of-ODD."""
+        return bool(self.verdict(input_vector).warn)
 
     def warning_rate(self, inputs: np.ndarray) -> float:
         """Fraction of inputs that trigger a warning.

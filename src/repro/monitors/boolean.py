@@ -11,6 +11,11 @@ The robust variant applies the abstraction to the perturbation estimate
 The ternary word is expanded into the set of all compatible binary words via
 ``word2set``, which the BDD represents with a cube over the constrained bits
 only (no exponential blow-up).
+
+Both variants run on the :mod:`repro.runtime` pattern codec: a training or
+evaluation batch is binarised against the thresholds in one vectorised pass,
+bulk-inserted as bit-packed words (standard) or ternary value/mask bit-planes
+(robust), and scored through the pattern set's vectorised membership mirror.
 """
 
 from __future__ import annotations
@@ -22,9 +27,11 @@ import numpy as np
 from ..exceptions import ConfigurationError, NotFittedError, ShapeError
 from ..nn.network import Sequential
 from ..bdd.patterns import DONT_CARE, PatternSet
+from ..runtime.codec import PatternCodec
+from ..runtime.packing import popcount
 from .base import ActivationMonitor, MonitorVerdict
-from .perturbation import PerturbationSpec, perturbation_estimates
-from .thresholds import get_threshold_strategy, validate_cut_points
+from .perturbation import PerturbationSpec, collect_bound_arrays
+from .thresholds import get_threshold_strategy
 
 __all__ = ["BooleanPatternMonitor", "RobustBooleanPatternMonitor"]
 
@@ -61,8 +68,18 @@ class BooleanPatternMonitor(ActivationMonitor):
         self._threshold_spec = thresholds
         self.thresholds: Optional[np.ndarray] = None
         self.patterns: Optional[PatternSet] = None
+        self._codec: Optional[PatternCodec] = None
 
     # ------------------------------------------------------------------
+    @property
+    def codec(self) -> PatternCodec:
+        """The fitted 1-bit pattern codec (features → packed words)."""
+        if self._codec is None:
+            if self.thresholds is None:
+                raise NotFittedError("the codec exists only after fitting")
+            self._codec = PatternCodec.from_thresholds(self.thresholds)
+        return self._codec
+
     def _resolve_thresholds(self, activations: np.ndarray) -> np.ndarray:
         if isinstance(self._threshold_spec, str):
             strategy = get_threshold_strategy(self._threshold_spec)
@@ -76,19 +93,22 @@ class BooleanPatternMonitor(ActivationMonitor):
             )
         return thresholds
 
+    def _set_thresholds(self, thresholds: np.ndarray) -> None:
+        self.thresholds = thresholds
+        self._codec = None
+
     def _word(self, feature: np.ndarray) -> List[int]:
         """The abstraction ``ab``: bit ``j`` = 1 iff ``v_j > c_j``."""
-        return [int(value > cut) for value, cut in zip(feature, self.thresholds)]
+        return [int(code) for code in self.codec.codes(np.atleast_2d(feature))[0]]
 
     # ------------------------------------------------------------------
     def fit(self, training_inputs: np.ndarray) -> "BooleanPatternMonitor":
         features = self.features(training_inputs)
         if features.shape[0] == 0:
             raise ShapeError("fit() needs at least one training input")
-        self.thresholds = self._resolve_thresholds(features)
+        self._set_thresholds(self._resolve_thresholds(features))
         self.patterns = PatternSet(self.num_monitored_neurons, bits_per_position=1)
-        for row in features:
-            self.patterns.add_word(self._word(row))
+        self.patterns.add_patterns(self.codec.codes(features))
         self._fitted = True
         self._num_training_samples = int(features.shape[0])
         return self
@@ -96,27 +116,39 @@ class BooleanPatternMonitor(ActivationMonitor):
     def update(self, inputs: np.ndarray) -> "BooleanPatternMonitor":
         """Fold additional data (e.g. a validation set) into the pattern set."""
         self._require_fitted()
-        for row in self.features(inputs):
-            self.patterns.add_word(self._word(row))
-            self._num_training_samples += 1
+        features = self.features(inputs)
+        self.patterns.add_patterns(self.codec.codes(features))
+        self._num_training_samples += int(features.shape[0])
         return self
 
     # ------------------------------------------------------------------
-    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
-        self._require_fitted()
-        feature = self.features(input_vector)[0]
-        word = self._word(feature)
-        if self.hamming_tolerance > 0:
-            known = self.patterns.contains_within_hamming(word, self.hamming_tolerance)
-        else:
-            known = self.patterns.contains(word)
-        return MonitorVerdict(
-            warn=not known,
-            details={
-                "word": tuple(word),
-                "hamming_tolerance": self.hamming_tolerance,
-            },
-        )
+    def _known_from_features(self, features: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        """Codes and membership flags of a feature batch."""
+        codes = self.codec.codes(features)
+        known = self.patterns.contains_batch(codes)
+        if self.hamming_tolerance > 0 and not np.all(known):
+            for index in np.nonzero(~known)[0]:
+                known[index] = self.patterns.contains_within_hamming(
+                    [int(code) for code in codes[index]], self.hamming_tolerance
+                )
+        return codes, known
+
+    def _warn_from_features(self, features: np.ndarray) -> np.ndarray:
+        _, known = self._known_from_features(features)
+        return ~known
+
+    def _verdicts_from_features(self, features: np.ndarray) -> List[MonitorVerdict]:
+        codes, known = self._known_from_features(features)
+        return [
+            MonitorVerdict(
+                warn=bool(not row_known),
+                details={
+                    "word": tuple(int(code) for code in row_codes),
+                    "hamming_tolerance": self.hamming_tolerance,
+                },
+            )
+            for row_codes, row_known in zip(codes, known)
+        ]
 
     # ------------------------------------------------------------------
     def pattern_count(self) -> int:
@@ -142,8 +174,8 @@ class RobustBooleanPatternMonitor(BooleanPatternMonitor):
     """Robust on/off pattern monitor ``M_{⟨G, k, k_p, Δ⟩}`` (Section III-B).
 
     The abstraction function ``ab_R`` maps each neuron's perturbation-estimate
-    bound to 1 / 0 / don't-care; the resulting ternary word is inserted via
-    ``word2set``.
+    bound to 1 / 0 / don't-care; the batch of ternary words is encoded as
+    value/mask bit-planes and inserted via ``word2set`` in bulk.
     """
 
     kind = "robust_boolean_pattern"
@@ -173,31 +205,36 @@ class RobustBooleanPatternMonitor(BooleanPatternMonitor):
 
     def _ternary_word(self, low: np.ndarray, high: np.ndarray) -> List[object]:
         """The robust abstraction ``ab_R`` producing 0 / 1 / don't-care."""
-        word: List[object] = []
-        for l, u, cut in zip(low, high, self.thresholds):
-            if l > cut:
-                word.append(1)
-            elif u <= cut:
-                word.append(0)
-            else:
-                word.append(DONT_CARE)
-        return word
+        low_codes, high_codes = self.codec.bound_codes(
+            np.atleast_2d(low), np.atleast_2d(high)
+        )
+        return [
+            int(lo) if lo == hi else DONT_CARE
+            for lo, hi in zip(low_codes[0], high_codes[0])
+        ]
+
+    def _insert_robust_batch(self, inputs: np.ndarray) -> None:
+        lows, highs = collect_bound_arrays(
+            self.network, inputs, self.layer_index, self.perturbation
+        )
+        lows = lows[:, self.neuron_indices]
+        highs = highs[:, self.neuron_indices]
+        planes = self.codec.ternary_planes(lows, highs)
+        constrained_bits = int(popcount(planes.masks).sum())
+        self._dont_care_count += (
+            planes.values.shape[0] * self.num_monitored_neurons - constrained_bits
+        )
+        self.patterns.add_ternary_patterns(planes)
 
     def fit(self, training_inputs: np.ndarray) -> "RobustBooleanPatternMonitor":
         training_inputs = np.atleast_2d(np.asarray(training_inputs, dtype=np.float64))
         if training_inputs.shape[0] == 0:
             raise ShapeError("fit() needs at least one training input")
         features = self.features(training_inputs)
-        self.thresholds = self._resolve_thresholds(features)
+        self._set_thresholds(self._resolve_thresholds(features))
         self.patterns = PatternSet(self.num_monitored_neurons, bits_per_position=1)
         self._dont_care_count = 0
-        for estimate in perturbation_estimates(
-            self.network, training_inputs, self.layer_index, self.perturbation
-        ):
-            low, high = self._select(estimate.low, estimate.high)
-            word = self._ternary_word(low, high)
-            self._dont_care_count += sum(1 for symbol in word if symbol == DONT_CARE)
-            self.patterns.add_ternary_word(word)
+        self._insert_robust_batch(training_inputs)
         self._fitted = True
         self._num_training_samples = int(training_inputs.shape[0])
         return self
@@ -205,14 +242,8 @@ class RobustBooleanPatternMonitor(BooleanPatternMonitor):
     def update(self, inputs: np.ndarray) -> "RobustBooleanPatternMonitor":
         self._require_fitted()
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        for estimate in perturbation_estimates(
-            self.network, inputs, self.layer_index, self.perturbation
-        ):
-            low, high = self._select(estimate.low, estimate.high)
-            word = self._ternary_word(low, high)
-            self._dont_care_count += sum(1 for symbol in word if symbol == DONT_CARE)
-            self.patterns.add_ternary_word(word)
-            self._num_training_samples += 1
+        self._insert_robust_batch(inputs)
+        self._num_training_samples += int(inputs.shape[0])
         return self
 
     @property

@@ -180,8 +180,25 @@ class ClassConditionalMonitor:
         return self.verdict(input_vector).warn
 
     def warn_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Batched dispatch: classify once, then score one batch per class.
+
+        Inputs are grouped by predicted class so that each per-class monitor
+        sees a single vectorised batch instead of one query per row; classes
+        without a fitted monitor fall back to the configured warning default.
+        """
+        self._require_fitted()
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        return np.array([self.warn(row) for row in inputs], dtype=bool)
+        if inputs.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        predicted = np.asarray(self._network.predict_classes(inputs), dtype=np.int64)
+        warnings = np.full(inputs.shape[0], self._fallback_warn, dtype=bool)
+        for class_id in np.unique(predicted):
+            monitor = self._monitors.get(int(class_id))
+            if monitor is None:
+                continue
+            members = np.nonzero(predicted == class_id)[0]
+            warnings[members] = monitor.warn_batch(inputs[members])
+        return warnings
 
     def warning_rate(self, inputs: np.ndarray) -> float:
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))

@@ -10,15 +10,21 @@ together and their warnings combined with a configurable voting rule:
 * ``"all"`` — warn only when every member warns (lowest false-positive rate);
 * ``"majority"`` — warn when more than half of the members warn;
 * an integer ``k`` — warn when at least ``k`` members warn.
+
+Batch scoring shares forward passes: members fitted on the same network are
+fed from one :class:`~repro.runtime.engine.BatchScoringEngine` activation
+cache, so an ensemble over ``m`` layers of one network costs one forward
+pass per batch instead of ``m``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..exceptions import ConfigurationError, ShapeError
+from ..runtime.engine import BatchScoringEngine
 from .base import ActivationMonitor, MonitorVerdict
 
 __all__ = ["MonitorEnsemble"]
@@ -37,6 +43,7 @@ class MonitorEnsemble:
         self.monitors: List[ActivationMonitor] = list(monitors)
         self.vote = vote
         self._threshold = self._resolve_threshold(vote, len(self.monitors))
+        self._engines: Dict[int, BatchScoringEngine] = {}
 
     @staticmethod
     def _resolve_threshold(vote: Union[str, int], count: int) -> int:
@@ -67,24 +74,59 @@ class MonitorEnsemble:
             monitor.fit(training_inputs)
         return self
 
-    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
-        member_verdicts = [monitor.verdict(input_vector) for monitor in self.monitors]
-        votes = sum(1 for verdict in member_verdicts if verdict.warn)
-        return MonitorVerdict(
-            warn=votes >= self._threshold,
-            details={
-                "votes": votes,
-                "threshold": self._threshold,
-                "member_warnings": tuple(v.warn for v in member_verdicts),
-            },
-        )
+    # ------------------------------------------------------------------
+    def _engine_for(self, monitor: ActivationMonitor) -> Optional[BatchScoringEngine]:
+        network = getattr(monitor, "network", None)
+        if network is None or not hasattr(monitor, "warn_batch_from_layer"):
+            return None
+        key = id(network)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = BatchScoringEngine(network)
+            self._engines[key] = engine
+        return engine
 
-    def warn(self, input_vector: np.ndarray) -> bool:
-        return self.verdict(input_vector).warn
+    def _member_warn_matrix(self, inputs: np.ndarray) -> np.ndarray:
+        """``(num_members, N)`` warning matrix with shared forward passes."""
+        rows = []
+        for monitor in self.monitors:
+            engine = self._engine_for(monitor)
+            if engine is not None:
+                activations = engine.layer_features(inputs, monitor.layer_index)
+                rows.append(monitor.warn_batch_from_layer(activations))
+            else:
+                rows.append(np.asarray(monitor.warn_batch(inputs), dtype=bool))
+        return np.vstack(rows) if rows else np.zeros((0, inputs.shape[0]), dtype=bool)
 
     def warn_batch(self, inputs: np.ndarray) -> np.ndarray:
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        return np.array([self.warn(row) for row in inputs], dtype=bool)
+        member_warnings = self._member_warn_matrix(inputs)
+        votes = member_warnings.sum(axis=0)
+        return votes >= self._threshold
+
+    def verdict_batch(self, inputs: np.ndarray) -> List[MonitorVerdict]:
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        member_warnings = self._member_warn_matrix(inputs)
+        votes = member_warnings.sum(axis=0)
+        return [
+            MonitorVerdict(
+                warn=bool(row_votes >= self._threshold),
+                details={
+                    "votes": int(row_votes),
+                    "threshold": self._threshold,
+                    "member_warnings": tuple(bool(w) for w in member_warnings[:, index]),
+                },
+            )
+            for index, row_votes in enumerate(votes)
+        ]
+
+    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
+        return self.verdict_batch(
+            np.atleast_2d(np.asarray(input_vector, dtype=np.float64))
+        )[0]
+
+    def warn(self, input_vector: np.ndarray) -> bool:
+        return bool(self.verdict(input_vector).warn)
 
     def warning_rate(self, inputs: np.ndarray) -> float:
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))

@@ -8,24 +8,29 @@ the code needs ``ceil(log2(m+1))`` bits; the paper's exposition uses 2 bits
 generalises both the min-max monitor and the on/off monitor.
 
 The robust variant maps each neuron's perturbation-estimate bound
-``[l_j, u_j]`` to the *set* of codes reachable by any value inside the bound
-(a contiguous code range, thanks to monotonicity of the encoding); the
-per-neuron code sets are inserted via the BDD ``word2set`` so the stored set
-is the Cartesian product without enumeration.
+``[l_j, u_j]`` to the *range* of codes reachable by any value inside the
+bound (contiguous, thanks to monotonicity of the encoding); the per-neuron
+code ranges are bulk-inserted via the BDD ``word2set`` so the stored set is
+the Cartesian product without enumeration.
+
+Both variants run on the :mod:`repro.runtime` pattern codec: whole batches
+are coded against the cut-point matrix in one vectorised pass and scored
+through the pattern set's vectorised membership mirror.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, ShapeError
+from ..exceptions import ConfigurationError, NotFittedError, ShapeError
 from ..nn.network import Sequential
 from ..bdd.patterns import PatternSet
+from ..runtime.codec import PatternCodec
 from .base import ActivationMonitor, MonitorVerdict
-from .encoding import bits_for_cuts, code_sets_of_bounds, codes_of_values
-from .perturbation import PerturbationSpec, perturbation_estimates
+from .encoding import bits_for_cuts
+from .perturbation import PerturbationSpec, collect_bound_arrays
 from .thresholds import get_threshold_strategy, validate_cut_points
 
 __all__ = ["IntervalPatternMonitor", "RobustIntervalPatternMonitor"]
@@ -65,12 +70,22 @@ class IntervalPatternMonitor(ActivationMonitor):
         self._explicit_cut_points = cut_points
         self.cut_points: Optional[np.ndarray] = None
         self.patterns: Optional[PatternSet] = None
+        self._codec: Optional[PatternCodec] = None
 
     # ------------------------------------------------------------------
     @property
     def bits_per_neuron(self) -> int:
         """Bits used to encode one neuron's interval code."""
         return bits_for_cuts(self.num_cuts)
+
+    @property
+    def codec(self) -> PatternCodec:
+        """The fitted multi-bit pattern codec (features → packed words)."""
+        if self._codec is None:
+            if self.cut_points is None:
+                raise NotFittedError("the codec exists only after fitting")
+            self._codec = PatternCodec(self.cut_points)
+        return self._codec
 
     def _resolve_cut_points(self, activations: np.ndarray) -> np.ndarray:
         if self._explicit_cut_points is not None:
@@ -84,20 +99,23 @@ class IntervalPatternMonitor(ActivationMonitor):
         strategy = get_threshold_strategy(self.cut_strategy)
         return validate_cut_points(strategy(activations, self.num_cuts))
 
+    def _set_cut_points(self, cut_points: np.ndarray) -> None:
+        self.cut_points = cut_points
+        self._codec = None
+
     def _codes(self, feature: np.ndarray) -> List[int]:
-        return [int(code) for code in codes_of_values(feature, self.cut_points)]
+        return [int(code) for code in self.codec.codes(np.atleast_2d(feature))[0]]
 
     # ------------------------------------------------------------------
     def fit(self, training_inputs: np.ndarray) -> "IntervalPatternMonitor":
         features = self.features(training_inputs)
         if features.shape[0] == 0:
             raise ShapeError("fit() needs at least one training input")
-        self.cut_points = self._resolve_cut_points(features)
+        self._set_cut_points(self._resolve_cut_points(features))
         self.patterns = PatternSet(
             self.num_monitored_neurons, bits_per_position=self.bits_per_neuron
         )
-        for row in features:
-            self.patterns.add_word(self._codes(row))
+        self.patterns.add_patterns(self.codec.codes(features))
         self._fitted = True
         self._num_training_samples = int(features.shape[0])
         return self
@@ -105,21 +123,28 @@ class IntervalPatternMonitor(ActivationMonitor):
     def update(self, inputs: np.ndarray) -> "IntervalPatternMonitor":
         """Fold additional data into the stored pattern set."""
         self._require_fitted()
-        for row in self.features(inputs):
-            self.patterns.add_word(self._codes(row))
-            self._num_training_samples += 1
+        features = self.features(inputs)
+        self.patterns.add_patterns(self.codec.codes(features))
+        self._num_training_samples += int(features.shape[0])
         return self
 
     # ------------------------------------------------------------------
-    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
-        self._require_fitted()
-        feature = self.features(input_vector)[0]
-        codes = self._codes(feature)
-        known = self.patterns.contains(codes)
-        return MonitorVerdict(
-            warn=not known,
-            details={"codes": tuple(codes), "bits_per_neuron": self.bits_per_neuron},
-        )
+    def _warn_from_features(self, features: np.ndarray) -> np.ndarray:
+        return ~self.patterns.contains_batch(self.codec.codes(features))
+
+    def _verdicts_from_features(self, features: np.ndarray) -> List[MonitorVerdict]:
+        codes = self.codec.codes(features)
+        known = self.patterns.contains_batch(codes)
+        return [
+            MonitorVerdict(
+                warn=bool(not row_known),
+                details={
+                    "codes": tuple(int(code) for code in row_codes),
+                    "bits_per_neuron": self.bits_per_neuron,
+                },
+            )
+            for row_codes, row_known in zip(codes, known)
+        ]
 
     def pattern_count(self) -> int:
         """Number of distinct code words in the abstraction."""
@@ -146,8 +171,8 @@ class RobustIntervalPatternMonitor(IntervalPatternMonitor):
     """Robust multi-bit interval monitor (Section III-C, Figure 1).
 
     Each training input contributes the Cartesian product of its per-neuron
-    admissible code sets — the codes reachable by any value inside the
-    perturbation-estimate bound ``[l_j, u_j]``.
+    admissible code ranges — the codes reachable by any value inside the
+    perturbation-estimate bound ``[l_j, u_j]`` — bulk-inserted per batch.
     """
 
     kind = "robust_interval_pattern"
@@ -177,23 +202,27 @@ class RobustIntervalPatternMonitor(IntervalPatternMonitor):
         self.perturbation = perturbation
         self._ambiguous_positions = 0
 
+    def _insert_robust_batch(self, inputs: np.ndarray) -> None:
+        lows, highs = collect_bound_arrays(
+            self.network, inputs, self.layer_index, self.perturbation
+        )
+        lows = lows[:, self.neuron_indices]
+        highs = highs[:, self.neuron_indices]
+        low_codes, high_codes = self.codec.bound_codes(lows, highs)
+        self._ambiguous_positions += int((high_codes > low_codes).sum())
+        self.patterns.add_range_patterns(low_codes, high_codes)
+
     def fit(self, training_inputs: np.ndarray) -> "RobustIntervalPatternMonitor":
         training_inputs = np.atleast_2d(np.asarray(training_inputs, dtype=np.float64))
         if training_inputs.shape[0] == 0:
             raise ShapeError("fit() needs at least one training input")
         features = self.features(training_inputs)
-        self.cut_points = self._resolve_cut_points(features)
+        self._set_cut_points(self._resolve_cut_points(features))
         self.patterns = PatternSet(
             self.num_monitored_neurons, bits_per_position=self.bits_per_neuron
         )
         self._ambiguous_positions = 0
-        for estimate in perturbation_estimates(
-            self.network, training_inputs, self.layer_index, self.perturbation
-        ):
-            low, high = self._select(estimate.low, estimate.high)
-            code_sets = code_sets_of_bounds(low, high, self.cut_points)
-            self._ambiguous_positions += sum(1 for s in code_sets if len(s) > 1)
-            self.patterns.add_code_sets(code_sets)
+        self._insert_robust_batch(training_inputs)
         self._fitted = True
         self._num_training_samples = int(training_inputs.shape[0])
         return self
@@ -201,14 +230,8 @@ class RobustIntervalPatternMonitor(IntervalPatternMonitor):
     def update(self, inputs: np.ndarray) -> "RobustIntervalPatternMonitor":
         self._require_fitted()
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        for estimate in perturbation_estimates(
-            self.network, inputs, self.layer_index, self.perturbation
-        ):
-            low, high = self._select(estimate.low, estimate.high)
-            code_sets = code_sets_of_bounds(low, high, self.cut_points)
-            self._ambiguous_positions += sum(1 for s in code_sets if len(s) > 1)
-            self.patterns.add_code_sets(code_sets)
-            self._num_training_samples += 1
+        self._insert_robust_batch(inputs)
+        self._num_training_samples += int(inputs.shape[0])
         return self
 
     @property

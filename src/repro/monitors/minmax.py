@@ -9,19 +9,22 @@ The robust variant of the paper replaces each visited value with the
 perturbation estimate ``[l_j, u_j]`` of Definition 1 and joins those bounds,
 so the envelope already accounts for every Δ-bounded perturbation at layer
 ``k_p``; Lemma 1's guarantee follows directly.
+
+Scoring is fully vectorised: a batch of inputs costs one forward pass and a
+couple of elementwise comparisons against the envelope.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import ConfigurationError, NotFittedError, ShapeError
+from ..exceptions import ConfigurationError, ShapeError
 from ..nn.network import Sequential
 from ..symbolic.interval import Box
 from .base import ActivationMonitor, MonitorVerdict
-from .perturbation import PerturbationSpec, perturbation_estimates
+from .perturbation import PerturbationSpec, collect_bound_arrays
 
 __all__ = ["MinMaxMonitor", "RobustMinMaxMonitor"]
 
@@ -90,27 +93,43 @@ class MinMaxMonitor(ActivationMonitor):
         self._require_fitted()
         return Box(self.lower, self.upper)
 
-    def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
-        self._require_fitted()
-        feature = self.features(input_vector)[0]
-        # Numeric tolerance: batched (fit-time) and single-input (operation-
-        # time) forward passes may differ in the last float, and a training
-        # sample sitting exactly on the envelope boundary must not warn.
+    def _envelope_violations(self, features: np.ndarray) -> np.ndarray:
+        """Boolean ``(N, P)`` matrix of per-neuron envelope violations.
+
+        Numeric tolerance: forward passes of different batch sizes may differ
+        in the last float, and a training sample sitting exactly on the
+        envelope boundary must not warn.
+        """
         tolerance = 1e-9 * np.maximum(
             1.0, np.maximum(np.abs(self.lower), np.abs(self.upper))
         )
-        below = feature < self.lower - tolerance
-        above = feature > self.upper + tolerance
-        violations = np.nonzero(below | above)[0]
-        distances = np.maximum(self.lower - feature, feature - self.upper)
-        return MonitorVerdict(
-            warn=bool(violations.size > 0),
-            violations=tuple(int(v) for v in violations),
-            details={
-                "max_violation_distance": float(distances.max(initial=0.0)),
-                "num_violations": int(violations.size),
-            },
+        below = features < self.lower[None, :] - tolerance[None, :]
+        above = features > self.upper[None, :] + tolerance[None, :]
+        return below | above
+
+    def _warn_from_features(self, features: np.ndarray) -> np.ndarray:
+        return self._envelope_violations(features).any(axis=1)
+
+    def _verdicts_from_features(self, features: np.ndarray) -> List[MonitorVerdict]:
+        violating = self._envelope_violations(features)
+        distances = np.maximum(
+            self.lower[None, :] - features, features - self.upper[None, :]
         )
+        max_distances = distances.max(axis=1, initial=0.0)
+        verdicts = []
+        for row_violations, max_distance in zip(violating, max_distances):
+            violations = np.nonzero(row_violations)[0]
+            verdicts.append(
+                MonitorVerdict(
+                    warn=bool(violations.size > 0),
+                    violations=tuple(int(v) for v in violations),
+                    details={
+                        "max_violation_distance": float(max_distance),
+                        "num_violations": int(violations.size),
+                    },
+                )
+            )
+        return verdicts
 
     def describe(self) -> Dict[str, object]:
         info = super().describe()
@@ -144,24 +163,20 @@ class RobustMinMaxMonitor(MinMaxMonitor):
             )
         self.perturbation = perturbation
 
+    def _bound_arrays(self, inputs: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+        lows, highs = collect_bound_arrays(
+            self.network, inputs, self.layer_index, self.perturbation
+        )
+        return lows[:, self.neuron_indices], highs[:, self.neuron_indices]
+
     def fit(self, training_inputs: np.ndarray) -> "RobustMinMaxMonitor":
         """Join the perturbation estimates of every training input."""
         training_inputs = np.atleast_2d(np.asarray(training_inputs, dtype=np.float64))
         if training_inputs.shape[0] == 0:
             raise ShapeError("fit() needs at least one training input")
-        lower = None
-        upper = None
-        for estimate in perturbation_estimates(
-            self.network, training_inputs, self.layer_index, self.perturbation
-        ):
-            est_low, est_high = self._select(estimate.low, estimate.high)
-            if lower is None:
-                lower, upper = est_low.copy(), est_high.copy()
-            else:
-                np.minimum(lower, est_low, out=lower)
-                np.maximum(upper, est_high, out=upper)
-        self.lower = lower
-        self.upper = upper
+        lows, highs = self._bound_arrays(training_inputs)
+        self.lower = lows.min(axis=0)
+        self.upper = highs.max(axis=0)
         self._fitted = True
         self._num_training_samples = int(training_inputs.shape[0])
         return self
@@ -170,12 +185,9 @@ class RobustMinMaxMonitor(MinMaxMonitor):
         """Fold additional data (with the same perturbation model) into the envelope."""
         self._require_fitted()
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        for estimate in perturbation_estimates(
-            self.network, inputs, self.layer_index, self.perturbation
-        ):
-            est_low, est_high = self._select(estimate.low, estimate.high)
-            np.minimum(self.lower, est_low, out=self.lower)
-            np.maximum(self.upper, est_high, out=self.upper)
+        lows, highs = self._bound_arrays(inputs)
+        np.minimum(self.lower, lows.min(axis=0), out=self.lower)
+        np.maximum(self.upper, highs.max(axis=0), out=self.upper)
         self._num_training_samples += int(inputs.shape[0])
         return self
 

@@ -26,7 +26,12 @@ from ..nn.network import Sequential
 from ..symbolic.interval import Box
 from ..symbolic.propagation import PROPAGATION_METHODS, perturbation_bounds
 
-__all__ = ["PerturbationSpec", "perturbation_estimate", "perturbation_estimates"]
+__all__ = [
+    "PerturbationSpec",
+    "perturbation_estimate",
+    "perturbation_estimates",
+    "collect_bound_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -114,3 +119,29 @@ def collect_estimates(
 ) -> List[Box]:
     """Materialise :func:`perturbation_estimates` into a list."""
     return list(perturbation_estimates(network, inputs, monitored_layer, spec))
+
+
+def collect_bound_arrays(
+    network: Sequential,
+    inputs: np.ndarray,
+    monitored_layer: int,
+    spec: PerturbationSpec,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Stack every row's perturbation estimate into ``(N, d_k)`` bound matrices.
+
+    This is the batch-friendly form the vectorised robust monitors consume:
+    row ``i`` of the returned ``(lows, highs)`` pair is ``pe^G_k`` of input
+    ``i``.  A trivial spec (``Δ = 0``) degenerates to one batched forward
+    pass with ``lows == highs``.
+    """
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+    if spec.is_trivial:
+        features = np.atleast_2d(network.forward_to(monitored_layer, inputs))
+        return features, features
+    lows: List[np.ndarray] = []
+    highs: List[np.ndarray] = []
+    for row in inputs:
+        estimate = perturbation_estimate(network, row, monitored_layer, spec)
+        lows.append(np.atleast_1d(estimate.low))
+        highs.append(np.atleast_1d(estimate.high))
+    return np.vstack(lows), np.vstack(highs)

@@ -18,7 +18,10 @@ Two scores are provided, one per abstraction family:
   pattern monitor's BDD, normalised by the word length.
 
 Both wrap an existing fitted monitor, so robust variants are obtained simply
-by wrapping the robust monitor.
+by wrapping the robust monitor.  Batch scoring is vectorised: one shared
+forward pass per batch, and for pattern distances the distance-0 case (the
+overwhelmingly common one on in-ODD traffic) is answered by the pattern
+set's vectorised membership mirror before any per-row BDD search runs.
 """
 
 from __future__ import annotations
@@ -59,19 +62,22 @@ class EnvelopeDistanceMonitor:
         if not self.monitor.is_fitted:
             raise NotFittedError("the wrapped min-max monitor has not been fitted")
 
-    def score(self, input_vector: np.ndarray) -> float:
-        """Normalised distance of the feature vector to the envelope (0 = inside)."""
-        self._require_fitted()
-        feature = self.monitor.features(input_vector)[0]
+    def _scores_from_features(self, features: np.ndarray) -> np.ndarray:
         width = np.maximum(self.monitor.upper - self.monitor.lower, 1e-12)
-        below = (self.monitor.lower - feature) / width
-        above = (feature - self.monitor.upper) / width
+        below = (self.monitor.lower[None, :] - features) / width[None, :]
+        above = (features - self.monitor.upper[None, :]) / width[None, :]
         distance = np.maximum(np.maximum(below, above), 0.0)
-        return float(distance.max())
+        return distance.max(axis=1, initial=0.0)
 
     def score_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Normalised envelope distances of a whole batch in one pass."""
+        self._require_fitted()
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        return np.array([self.score(row) for row in inputs])
+        return self._scores_from_features(self.monitor.features(inputs))
+
+    def score(self, input_vector: np.ndarray) -> float:
+        """Normalised distance of the feature vector to the envelope (0 = inside)."""
+        return float(self.score_batch(np.atleast_2d(np.asarray(input_vector, dtype=np.float64)))[0])
 
     def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
         value = self.score(input_vector)
@@ -128,30 +134,51 @@ class PatternDistanceMonitor:
             return self.monitor._word(feature)
         return self.monitor._codes(feature)
 
-    def distance(self, input_vector: np.ndarray) -> int:
-        """Hamming distance (in positions) to the nearest stored word."""
-        self._require_fitted()
-        word = self._observed_word(input_vector)
-        patterns = self.monitor.patterns
-        if patterns.is_empty():
+    def _distance_limit(self) -> int:
+        if self.max_distance is None:
             return self.monitor.num_monitored_neurons
-        limit = (
-            self.monitor.num_monitored_neurons
-            if self.max_distance is None
-            else min(self.max_distance, self.monitor.num_monitored_neurons)
-        )
-        for candidate in range(0, limit + 1):
+        return min(self.max_distance, self.monitor.num_monitored_neurons)
+
+    def _distance_of_word(self, word: Sequence[int]) -> int:
+        patterns = self.monitor.patterns
+        limit = self._distance_limit()
+        for candidate in range(1, limit + 1):
             if patterns.contains_within_hamming(word, candidate):
                 return candidate
         return limit + 1
 
+    def distance_batch(self, inputs: np.ndarray) -> np.ndarray:
+        """Hamming distances of every row, distance-0 answered vectorised."""
+        self._require_fitted()
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        features = self.monitor.features(inputs)
+        codes = self.monitor.codec.codes(features)
+        patterns = self.monitor.patterns
+        distances = np.zeros(codes.shape[0], dtype=np.int64)
+        if patterns.is_empty():
+            distances[:] = self.monitor.num_monitored_neurons
+            return distances
+        known = patterns.contains_batch(codes)
+        for index in np.nonzero(~known)[0]:
+            distances[index] = self._distance_of_word(
+                [int(code) for code in codes[index]]
+            )
+        return distances
+
+    def distance(self, input_vector: np.ndarray) -> int:
+        """Hamming distance (in positions) to the nearest stored word."""
+        return int(
+            self.distance_batch(
+                np.atleast_2d(np.asarray(input_vector, dtype=np.float64))
+            )[0]
+        )
+
+    def score_batch(self, inputs: np.ndarray) -> np.ndarray:
+        return self.distance_batch(inputs) / self.monitor.num_monitored_neurons
+
     def score(self, input_vector: np.ndarray) -> float:
         """Normalised Hamming distance in ``[0, 1]`` (0 = pattern was visited)."""
         return self.distance(input_vector) / self.monitor.num_monitored_neurons
-
-    def score_batch(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        return np.array([self.score(row) for row in inputs])
 
     def verdict(self, input_vector: np.ndarray) -> MonitorVerdict:
         value = self.score(input_vector)

@@ -167,8 +167,9 @@ def load_monitor(path: Union[str, Path], network: Sequential) -> ActivationMonit
         from ..bdd.patterns import PatternSet
 
         monitor.patterns = PatternSet(len(neuron_indices), bits_per_position=1)
-        for word in archive["words"]:
-            monitor.patterns.add_word([int(code) for code in word])
+        words = archive["words"]
+        if words.shape[0]:
+            monitor.patterns.add_patterns(words)
     else:  # interval families
         cut_points = archive["cut_points"]
         if class_name == "IntervalPatternMonitor":
@@ -196,8 +197,9 @@ def load_monitor(path: Union[str, Path], network: Sequential) -> ActivationMonit
         monitor.patterns = PatternSet(
             len(neuron_indices), bits_per_position=monitor.bits_per_neuron
         )
-        for word in archive["words"]:
-            monitor.patterns.add_word([int(code) for code in word])
+        words = archive["words"]
+        if words.shape[0]:
+            monitor.patterns.add_patterns(words)
 
     monitor._fitted = True
     monitor._num_training_samples = int(header.get("num_training_samples", 0))

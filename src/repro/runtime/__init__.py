@@ -1,0 +1,47 @@
+"""Vectorised bit-packed pattern runtime.
+
+This package is the shared substrate under every monitor family:
+
+* :mod:`repro.runtime.packing` — ``(N, B)`` bool matrices ↔ ``(N, W)``
+  bit-packed ``uint64`` matrices, plus vectorised popcount;
+* :mod:`repro.runtime.codec` — batched binarisation of activation vectors
+  against cut points, ternary value/mask bit-planes and code ranges for the
+  Δ-robust abstractions;
+* :mod:`repro.runtime.matcher` — TCAM-style vectorised set membership
+  mirroring the canonical BDD representation;
+* :mod:`repro.runtime.engine` — batched scoring with a per-layer activation
+  cache so monitors sharing a network share forward passes.
+
+Batched API contract
+--------------------
+``warn_batch(inputs)`` is the authoritative scoring path of every monitor;
+``warn`` / ``verdict`` are thin single-row wrappers over it, so batch and
+single-sample answers agree by construction on any fixed workload.
+"""
+
+from .codec import PatternCodec, TernaryPlanes, WordCodec, default_tolerance
+from .engine import ActivationCache, BatchScore, BatchScoringEngine
+from .matcher import PackedMatcher
+from .packing import (
+    WORD_BITS,
+    pack_bool_matrix,
+    popcount,
+    unpack_bool_matrix,
+    words_for_bits,
+)
+
+__all__ = [
+    "WORD_BITS",
+    "words_for_bits",
+    "pack_bool_matrix",
+    "unpack_bool_matrix",
+    "popcount",
+    "WordCodec",
+    "PatternCodec",
+    "TernaryPlanes",
+    "default_tolerance",
+    "PackedMatcher",
+    "ActivationCache",
+    "BatchScore",
+    "BatchScoringEngine",
+]

@@ -1,0 +1,163 @@
+"""Batched runtime scoring: shared forward passes across monitors.
+
+A deployment typically runs several monitors against the *same* network —
+a standard and a robust variant on one layer, or an ensemble spanning
+layers.  Scoring them naively repeats the network forward pass once per
+monitor per evaluation batch.  :class:`BatchScoringEngine` computes the
+layer activations of an input batch once, caches them keyed by a content
+fingerprint of the batch, and feeds every monitor its slice — so N monitors
+on one network cost one forward pass, and re-scoring the same evaluation set
+(parameter sweeps, standard-vs-robust comparisons) costs zero forward passes
+after the first.
+
+The cached activations are produced by the same sequential layer loop as
+``Sequential.forward_to`` on the same batch, so engine-mediated scoring is
+bit-identical to calling ``monitor.warn_batch`` directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..nn.network import Sequential
+
+__all__ = ["ActivationCache", "BatchScore", "BatchScoringEngine"]
+
+
+def _fingerprint(inputs: np.ndarray) -> Tuple:
+    """Content fingerprint of an input batch (shape + BLAKE2 digest)."""
+    inputs = np.ascontiguousarray(inputs)
+    digest = hashlib.blake2b(inputs.tobytes(), digest_size=16).digest()
+    return (inputs.shape, inputs.dtype.str, digest)
+
+
+class ActivationCache:
+    """LRU cache of per-layer activations of recently scored input batches.
+
+    One entry holds the outputs of *every* layer for one input batch (a
+    single sequential pass produces them all), so monitors on different
+    layers share the entry.  Entries are keyed by the input batch content
+    *and* a digest of the network weights, so continuing to train the
+    network invalidates the cache instead of silently serving stale
+    activations.
+    """
+
+    def __init__(self, network: Sequential, max_entries: int = 16) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be at least 1")
+        self.network = network
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Tuple, List[np.ndarray]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _weights_digest(self) -> bytes:
+        """Digest of the network parameters (cheap next to a forward pass)."""
+        hasher = hashlib.blake2b(digest_size=16)
+        for weight in self.network.get_weights():
+            hasher.update(np.ascontiguousarray(weight).tobytes())
+        return hasher.digest()
+
+    def layer_activations(self, inputs: np.ndarray, layer_index: int) -> np.ndarray:
+        """Activations of ``layer_index`` for ``inputs`` (batched, cached)."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        key = _fingerprint(inputs) + (self._weights_digest(),)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            entry = self.network.activations(inputs)
+            self._entries[key] = entry
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        if not 1 <= layer_index <= len(entry):
+            raise ConfigurationError(
+                f"layer index {layer_index} outside [1, {len(entry)}]"
+            )
+        return entry[layer_index - 1]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class BatchScore:
+    """Result of one batched scoring pass: per-monitor warning vectors."""
+
+    warns: Dict[str, np.ndarray] = field(default_factory=dict)
+    verdicts: Optional[Dict[str, List]] = None
+
+    def warning_rate(self, name: str) -> float:
+        warnings = self.warns[name]
+        if warnings.size == 0:
+            raise ConfigurationError("warning_rate needs at least one scored input")
+        return float(np.mean(warnings))
+
+
+class BatchScoringEngine:
+    """Score many monitors on one input batch with shared forward passes.
+
+    Monitors attached to the engine's network are fed cached layer
+    activations; any other object exposing ``warn_batch`` (class-conditional
+    monitors, quantitative wrappers, monitors of a different network) is
+    scored through its own batched path unchanged.
+    """
+
+    def __init__(self, network: Sequential, max_cache_entries: int = 16) -> None:
+        self.network = network
+        self.cache = ActivationCache(network, max_entries=max_cache_entries)
+
+    # ------------------------------------------------------------------
+    def layer_features(self, inputs: np.ndarray, layer_index: int) -> np.ndarray:
+        """Cached full-layer activations for ``inputs``."""
+        return self.cache.layer_activations(inputs, layer_index)
+
+    def _shares_network(self, monitor) -> bool:
+        return getattr(monitor, "network", None) is self.network and hasattr(
+            monitor, "warn_batch_from_layer"
+        )
+
+    def score_batch(
+        self,
+        monitors: Mapping[str, object],
+        inputs: np.ndarray,
+        want_verdicts: bool = False,
+    ) -> BatchScore:
+        """Warning vectors (and optionally full verdicts) for every monitor."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        score = BatchScore(verdicts={} if want_verdicts else None)
+        for name, monitor in monitors.items():
+            if self._shares_network(monitor):
+                activations = self.layer_features(inputs, monitor.layer_index)
+                if want_verdicts:
+                    verdicts = monitor.verdict_batch_from_layer(activations)
+                    score.verdicts[name] = verdicts
+                    score.warns[name] = np.fromiter(
+                        (v.warn for v in verdicts), dtype=bool, count=len(verdicts)
+                    )
+                else:
+                    score.warns[name] = monitor.warn_batch_from_layer(activations)
+            else:
+                if want_verdicts and hasattr(monitor, "verdict_batch"):
+                    verdicts = monitor.verdict_batch(inputs)
+                    score.verdicts[name] = verdicts
+                    score.warns[name] = np.fromiter(
+                        (v.warn for v in verdicts), dtype=bool, count=len(verdicts)
+                    )
+                else:
+                    score.warns[name] = np.asarray(
+                        monitor.warn_batch(inputs), dtype=bool
+                    )
+        return score
+
+    def warn_batch(self, monitor, inputs: np.ndarray) -> np.ndarray:
+        """Single-monitor convenience wrapper over :meth:`score_batch`."""
+        return self.score_batch({"monitor": monitor}, inputs).warns["monitor"]

@@ -1,0 +1,243 @@
+"""TCAM-style vectorised membership over bit-packed pattern sets.
+
+The BDD of :class:`repro.bdd.patterns.PatternSet` is the canonical set
+representation (model counting, Hamming relaxation, DAG-size introspection),
+but answering "is this batch of words in the set?" one BDD walk at a time is
+a Python-loop-bound operation.  :class:`PackedMatcher` mirrors every
+insertion into three flat NumPy structures and answers batched membership
+with a few broadcast kernels, exactly like a ternary CAM in a network switch:
+
+* fully specified words — a hash set of packed rows (O(1) per probe);
+* ternary words — ``(M, W)`` value/mask bit-planes; probe ``p`` matches row
+  ``i`` iff ``(p ^ value_i) & mask_i == 0``;
+* code-range words (robust interval monitors) — ``(M, P)`` per-position
+  low/high code matrices; probe codes match iff they lie inside every range.
+
+The mirror is exact: each structure covers precisely the words the
+corresponding insertion API added, so matcher membership equals BDD
+membership (a property the test suite pins down).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ShapeError
+from .codec import TernaryPlanes, WordCodec
+from .packing import pack_bool_matrix
+
+__all__ = ["PackedMatcher"]
+
+#: Soft cap on broadcast buffer elements; probe batches are chunked to this.
+_CHUNK_ELEMENTS = 1 << 22
+
+
+class PackedMatcher:
+    """Vectorised membership mirror of a pattern set."""
+
+    def __init__(self, word_codec: WordCodec) -> None:
+        self.word_codec = word_codec
+        self._exact_rows: set = set()
+        self._ternary_values: List[np.ndarray] = []
+        self._ternary_masks: List[np.ndarray] = []
+        # Raw single-row inserts (lists of machine-word ints) are queued here
+        # and consolidated lazily so per-sample insertion stays O(1) cheap.
+        self._pending_values: List[Sequence[int]] = []
+        self._pending_masks: List[Sequence[int]] = []
+        self._range_low: List[np.ndarray] = []
+        self._range_high: List[np.ndarray] = []
+        self._ternary_stacked: Optional[TernaryPlanes] = None
+        self._range_stacked: Optional[tuple] = None
+        self._full_mask_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def add_exact_packed(self, packed: np.ndarray) -> None:
+        """Mirror a batch of fully specified packed words."""
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        if packed.ndim != 2 or packed.shape[1] != self.word_codec.num_words:
+            raise ShapeError("packed rows do not match the codec word width")
+        for row in packed:
+            self._exact_rows.add(row.tobytes())
+
+    def add_exact_bytes(self, row_bytes: bytes) -> None:
+        """Mirror one fully specified word given as little-endian row bytes."""
+        self._exact_rows.add(row_bytes)
+
+    def add_ternary_raw(
+        self, value_words: Sequence[int], mask_words: Sequence[int]
+    ) -> None:
+        """Mirror one ternary word given as raw machine-word integer lists."""
+        self._pending_values.append(value_words)
+        self._pending_masks.append(mask_words)
+        self._ternary_stacked = None
+
+    def add_ternary(self, planes: TernaryPlanes) -> None:
+        """Mirror a batch of ternary words given as value/mask bit-planes."""
+        values = np.ascontiguousarray(planes.values, dtype=np.uint64)
+        masks = np.ascontiguousarray(planes.masks, dtype=np.uint64)
+        if values.shape[1] != self.word_codec.num_words:
+            raise ShapeError("ternary planes do not match the codec word width")
+        # Fully constrained rows are plain words: route them to the hash set.
+        full_mask = self._full_mask()
+        fully = np.all(masks == full_mask[None, :], axis=1)
+        if np.any(fully):
+            self.add_exact_packed(values[fully])
+        if np.any(~fully):
+            self._ternary_values.extend(values[~fully])
+            self._ternary_masks.extend(masks[~fully])
+            self._ternary_stacked = None
+
+    def add_code_ranges(self, low_codes: np.ndarray, high_codes: np.ndarray) -> None:
+        """Mirror a batch of per-position code-range words."""
+        low_codes = np.atleast_2d(np.asarray(low_codes, dtype=np.int64))
+        high_codes = np.atleast_2d(np.asarray(high_codes, dtype=np.int64))
+        if low_codes.shape != high_codes.shape or low_codes.shape[1] != self.word_codec.num_positions:
+            raise ShapeError("code-range matrices do not match the codec layout")
+        point = np.all(low_codes == high_codes, axis=1)
+        if np.any(point):
+            self.add_exact_packed(self.word_codec.pack_codes(low_codes[point]))
+        if np.any(~point):
+            self._range_low.extend(low_codes[~point])
+            self._range_high.extend(high_codes[~point])
+            self._range_stacked = None
+
+    def merge(self, other: "PackedMatcher") -> None:
+        """Fold another matcher's entries into this one (set union)."""
+        if other.word_codec.num_bits != self.word_codec.num_bits:
+            raise ShapeError("cannot merge matchers with different word widths")
+        self._exact_rows |= other._exact_rows
+        self._ternary_values.extend(other._ternary_values)
+        self._ternary_masks.extend(other._ternary_masks)
+        self._pending_values.extend(other._pending_values)
+        self._pending_masks.extend(other._pending_masks)
+        self._range_low.extend(other._range_low)
+        self._range_high.extend(other._range_high)
+        self._ternary_stacked = None
+        self._range_stacked = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def _full_mask(self) -> np.ndarray:
+        if self._full_mask_cache is None:
+            bits = np.ones((1, self.word_codec.num_bits), dtype=bool)
+            self._full_mask_cache = pack_bool_matrix(bits)[0]
+        return self._full_mask_cache
+
+    def _consolidate_pending(self) -> None:
+        if not self._pending_values:
+            return
+        self._ternary_values.extend(
+            np.array(self._pending_values, dtype=np.uint64)
+        )
+        self._ternary_masks.extend(np.array(self._pending_masks, dtype=np.uint64))
+        self._pending_values = []
+        self._pending_masks = []
+
+    def _ternary_arrays(self) -> Optional[TernaryPlanes]:
+        self._consolidate_pending()
+        if not self._ternary_values:
+            return None
+        if self._ternary_stacked is None:
+            self._ternary_stacked = TernaryPlanes(
+                values=np.vstack(self._ternary_values),
+                masks=np.vstack(self._ternary_masks),
+            )
+        return self._ternary_stacked
+
+    def _range_arrays(self) -> Optional[tuple]:
+        if not self._range_low:
+            return None
+        if self._range_stacked is None:
+            self._range_stacked = (
+                np.vstack(self._range_low),
+                np.vstack(self._range_high),
+            )
+        return self._range_stacked
+
+    def contains_packed(self, packed: np.ndarray, codes: Optional[np.ndarray] = None) -> np.ndarray:
+        """Batched membership of fully specified packed probe words.
+
+        ``codes`` may be passed alongside to avoid re-unpacking when
+        code-range entries have to be checked.
+        """
+        packed = np.ascontiguousarray(packed, dtype=np.uint64)
+        if packed.ndim != 2 or packed.shape[1] != self.word_codec.num_words:
+            raise ShapeError("probe rows do not match the codec word width")
+        num_probes = packed.shape[0]
+        hits = np.fromiter(
+            (row.tobytes() in self._exact_rows for row in packed),
+            dtype=bool,
+            count=num_probes,
+        )
+        ternary = self._ternary_arrays()
+        if ternary is not None and not np.all(hits):
+            misses = np.nonzero(~hits)[0]
+            hits[misses] |= self._match_ternary(packed[misses], ternary)
+        ranges = self._range_arrays()
+        if ranges is not None and not np.all(hits):
+            misses = np.nonzero(~hits)[0]
+            probe_codes = (
+                codes[misses]
+                if codes is not None
+                else self.word_codec.unpack_codes(packed[misses])
+            )
+            hits[misses] |= self._match_ranges(probe_codes, *ranges)
+        return hits
+
+    def contains_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Batched membership of probes given as ``(N, P)`` code matrices."""
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
+        return self.contains_packed(self.word_codec.pack_codes(codes), codes=codes)
+
+    # ------------------------------------------------------------------
+    def _match_ternary(self, probes: np.ndarray, planes: TernaryPlanes) -> np.ndarray:
+        num_entries, num_words = planes.values.shape
+        out = np.zeros(probes.shape[0], dtype=bool)
+        chunk = max(1, _CHUNK_ELEMENTS // max(1, num_entries * num_words))
+        for start in range(0, probes.shape[0], chunk):
+            block = probes[start : start + chunk]
+            mismatch = (block[:, None, :] ^ planes.values[None, :, :]) & planes.masks[
+                None, :, :
+            ]
+            out[start : start + chunk] = np.logical_not(
+                mismatch.any(axis=2)
+            ).any(axis=1)
+        return out
+
+    def _match_ranges(
+        self, probe_codes: np.ndarray, low: np.ndarray, high: np.ndarray
+    ) -> np.ndarray:
+        num_entries, num_positions = low.shape
+        out = np.zeros(probe_codes.shape[0], dtype=bool)
+        chunk = max(1, _CHUNK_ELEMENTS // max(1, num_entries * num_positions))
+        for start in range(0, probe_codes.shape[0], chunk):
+            block = probe_codes[start : start + chunk]
+            inside = (block[:, None, :] >= low[None, :, :]) & (
+                block[:, None, :] <= high[None, :, :]
+            )
+            out[start : start + chunk] = inside.all(axis=2).any(axis=1)
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def num_exact(self) -> int:
+        return len(self._exact_rows)
+
+    @property
+    def num_ternary(self) -> int:
+        return len(self._ternary_values) + len(self._pending_values)
+
+    @property
+    def num_ranges(self) -> int:
+        return len(self._range_low)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedMatcher(exact={self.num_exact}, ternary={self.num_ternary}, "
+            f"ranges={self.num_ranges})"
+        )

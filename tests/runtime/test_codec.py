@@ -1,0 +1,119 @@
+"""Tests for the pattern codec: binarisation, packing, ternary semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.monitors.encoding import codes_of_values
+from repro.runtime.codec import PatternCodec, TernaryPlanes, WordCodec
+from repro.runtime.packing import popcount, unpack_bool_matrix
+
+
+class TestWordCodec:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 4])
+    def test_pack_codes_round_trip(self, bits):
+        rng = np.random.default_rng(bits)
+        codec = WordCodec(37, bits)
+        codes = rng.integers(0, 1 << bits, size=(25, 37))
+        np.testing.assert_array_equal(codec.unpack_codes(codec.pack_codes(codes)), codes)
+
+    def test_bit_order_matches_pattern_set(self):
+        """Bit ``b`` (MSB first) of position ``p`` lives at index ``p·bpp + b``."""
+        codec = WordCodec(3, 2)
+        codes = np.array([[0b10, 0b01, 0b11]])
+        bits = unpack_bool_matrix(codec.pack_codes(codes), codec.num_bits)[0]
+        assert list(bits.astype(int)) == [1, 0, 0, 1, 1, 1]
+
+    def test_code_out_of_range_rejected(self):
+        codec = WordCodec(4, 2)
+        with pytest.raises(ConfigurationError):
+            codec.pack_codes(np.full((1, 4), 4))
+
+    def test_wrong_width_rejected(self):
+        codec = WordCodec(4, 2)
+        with pytest.raises(ShapeError):
+            codec.pack_codes(np.zeros((1, 5), dtype=np.int64))
+
+
+class TestPatternCodecCodes:
+    def test_strict_codes_match_encoding_module(self):
+        rng = np.random.default_rng(7)
+        cuts = np.sort(rng.standard_normal((9, 3)), axis=1)
+        codec = PatternCodec(cuts, tolerance=0.0)
+        features = rng.standard_normal((50, 9))
+        np.testing.assert_array_equal(codec.codes(features), codes_of_values(features, cuts))
+
+    def test_encode_decode_round_trip(self):
+        rng = np.random.default_rng(8)
+        cuts = np.sort(rng.standard_normal((11, 3)), axis=1)
+        codec = PatternCodec(cuts)
+        features = rng.standard_normal((30, 11))
+        codes = codec.codes(features)
+        np.testing.assert_array_equal(codec.decode(codec.encode(features)), codes)
+
+    def test_tolerance_keeps_boundary_values_below_cut(self):
+        """A value exactly on a cut codes below it — stable under 1-ulp noise."""
+        codec = PatternCodec(np.array([[0.5]]))
+        exact = codec.codes(np.array([[0.5]]))[0, 0]
+        nudged = codec.codes(np.array([[0.5 + 1e-13]]))[0, 0]
+        clearly_above = codec.codes(np.array([[0.6]]))[0, 0]
+        assert exact == nudged == 0
+        assert clearly_above == 1
+
+    def test_decreasing_cuts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PatternCodec(np.array([[1.0, 0.5]]))
+
+    def test_wrong_feature_width_rejected(self):
+        codec = PatternCodec(np.zeros((4, 1)))
+        with pytest.raises(ShapeError):
+            codec.codes(np.zeros((2, 5)))
+
+    def test_from_thresholds_is_one_bit(self):
+        codec = PatternCodec.from_thresholds(np.zeros(6))
+        assert codec.bits_per_position == 1
+        assert codec.num_codes == 2
+
+
+class TestTernaryPlanes:
+    def test_bound_codes_are_monotone_ranges(self):
+        rng = np.random.default_rng(9)
+        cuts = np.sort(rng.standard_normal((7, 3)), axis=1)
+        codec = PatternCodec(cuts, tolerance=0.0)
+        low = rng.standard_normal((20, 7))
+        high = low + rng.random((20, 7))
+        low_codes, high_codes = codec.bound_codes(low, high)
+        assert np.all(low_codes <= high_codes)
+        # Any sampled value inside the bound codes inside the range.
+        mid = low + (high - low) * rng.random((20, 7))
+        mid_codes = codec.codes(mid)
+        assert np.all((mid_codes >= low_codes) & (mid_codes <= high_codes))
+
+    def test_ternary_semantics(self):
+        """1 when low clears the cut, 0 when high stays below, else don't-care."""
+        codec = PatternCodec.from_thresholds(np.zeros(3), tolerance=0.0)
+        low = np.array([[0.2, -0.9, -0.4]])
+        high = np.array([[0.8, -0.1, 0.7]])
+        planes = codec.ternary_planes(low, high)
+        values = unpack_bool_matrix(planes.values, 3)[0]
+        masks = unpack_bool_matrix(planes.masks, 3)[0]
+        assert list(masks) == [True, True, False]
+        assert list(values) == [True, False, False]
+
+    def test_dont_care_value_bits_are_zero(self):
+        """Unconstrained value bits are canonically zero (hashable rows)."""
+        codec = PatternCodec.from_thresholds(np.zeros(2), tolerance=0.0)
+        planes = codec.ternary_planes(
+            np.array([[-1.0, -1.0]]), np.array([[1.0, 1.0]])
+        )
+        assert popcount(planes.values).sum() == 0
+        assert popcount(planes.masks).sum() == 0
+
+    def test_ternary_requires_one_bit(self):
+        codec = PatternCodec(np.sort(np.random.default_rng(0).random((3, 3)), axis=1))
+        with pytest.raises(ConfigurationError):
+            codec.ternary_planes(np.zeros((1, 3)), np.ones((1, 3)))
+
+    def test_planes_shape_validation(self):
+        with pytest.raises(ShapeError):
+            TernaryPlanes(values=np.zeros((2, 1), dtype=np.uint64), masks=np.zeros((3, 1), dtype=np.uint64))

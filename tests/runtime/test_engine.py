@@ -1,0 +1,104 @@
+"""Tests for the batched scoring engine and its activation cache."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.monitors.boolean import BooleanPatternMonitor
+from repro.monitors.builder import ClassConditionalMonitor, MonitorBuilder
+from repro.monitors.minmax import MinMaxMonitor
+from repro.runtime.engine import ActivationCache, BatchScoringEngine
+
+
+class TestActivationCache:
+    def test_cached_activations_are_bit_identical_to_forward_to(self, tiny_network, tiny_inputs):
+        cache = ActivationCache(tiny_network)
+        for layer_index in (2, 4):
+            cached = cache.layer_activations(tiny_inputs, layer_index)
+            direct = tiny_network.forward_to(layer_index, tiny_inputs)
+            np.testing.assert_array_equal(cached, direct)
+
+    def test_repeated_batches_hit_the_cache(self, tiny_network, tiny_inputs):
+        cache = ActivationCache(tiny_network)
+        cache.layer_activations(tiny_inputs, 2)
+        cache.layer_activations(tiny_inputs, 4)  # same batch, other layer
+        cache.layer_activations(tiny_inputs.copy(), 2)  # same content
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_lru_eviction(self, tiny_network, rng):
+        cache = ActivationCache(tiny_network, max_entries=2)
+        batches = [rng.random((4, 6)) for _ in range(3)]
+        for batch in batches:
+            cache.layer_activations(batch, 2)
+        cache.layer_activations(batches[0], 2)  # evicted: a miss again
+        assert cache.misses == 4
+
+    def test_weight_change_invalidates_cache(self, tiny_inputs):
+        """Continuing to train the network must not serve stale activations."""
+        from repro.nn.network import mlp
+
+        network = mlp(6, [10, 8], 3, activation="relu", seed=7)
+        cache = ActivationCache(network)
+        before = cache.layer_activations(tiny_inputs, 2).copy()
+        weights = network.get_weights()
+        weights[0] = weights[0] + 0.5
+        network.set_weights(weights)
+        after = cache.layer_activations(tiny_inputs, 2)
+        assert cache.misses == 2  # same inputs, new weights -> fresh pass
+        assert not np.array_equal(before, after)
+        np.testing.assert_array_equal(after, network.forward_to(2, tiny_inputs))
+
+    def test_invalid_layer_rejected(self, tiny_network, tiny_inputs):
+        cache = ActivationCache(tiny_network)
+        with pytest.raises(ConfigurationError):
+            cache.layer_activations(tiny_inputs, 99)
+
+    def test_invalid_capacity_rejected(self, tiny_network):
+        with pytest.raises(ConfigurationError):
+            ActivationCache(tiny_network, max_entries=0)
+
+
+class TestBatchScoringEngine:
+    def test_engine_matches_direct_warn_batch(self, tiny_network, tiny_inputs, rng):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        boolean = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network)
+        probes = rng.uniform(-2.0, 2.0, size=(30, 6))
+        score = engine.score_batch({"minmax": minmax, "boolean": boolean}, probes)
+        np.testing.assert_array_equal(score.warns["minmax"], minmax.warn_batch(probes))
+        np.testing.assert_array_equal(score.warns["boolean"], boolean.warn_batch(probes))
+        # Two monitors on the same layer share one forward pass.
+        assert engine.cache.misses == 1
+        assert engine.cache.hits == 1
+
+    def test_engine_verdicts(self, tiny_network, tiny_inputs, rng):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network)
+        probes = rng.uniform(-2.0, 2.0, size=(10, 6))
+        score = engine.score_batch({"minmax": minmax}, probes, want_verdicts=True)
+        direct = minmax.verdict_batch(probes)
+        assert [v.warn for v in score.verdicts["minmax"]] == [v.warn for v in direct]
+        np.testing.assert_array_equal(
+            score.warns["minmax"], np.array([v.warn for v in direct])
+        )
+
+    def test_foreign_monitor_falls_back(self, trained_digits, rng):
+        """Monitors without the layer API are scored via their own warn_batch."""
+        network, train, test = trained_digits
+        conditional = ClassConditionalMonitor(
+            MonitorBuilder("minmax", 4), num_classes=4
+        ).fit(network, train.inputs)
+        engine = BatchScoringEngine(network)
+        score = engine.score_batch({"cc": conditional}, test.inputs)
+        np.testing.assert_array_equal(
+            score.warns["cc"], conditional.warn_batch(test.inputs)
+        )
+
+    def test_warning_rate_helper(self, tiny_network, tiny_inputs):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network)
+        score = engine.score_batch({"m": minmax}, tiny_inputs)
+        assert score.warning_rate("m") == pytest.approx(
+            float(np.mean(minmax.warn_batch(tiny_inputs)))
+        )

@@ -1,0 +1,130 @@
+"""Tests for the TCAM-style packed matcher against brute-force membership."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ShapeError
+from repro.runtime.codec import PatternCodec, WordCodec
+from repro.runtime.matcher import PackedMatcher
+
+
+@pytest.fixture
+def one_bit_codec():
+    return WordCodec(12, 1)
+
+
+class TestExactMembership:
+    def test_added_words_are_members(self, one_bit_codec):
+        rng = np.random.default_rng(0)
+        matcher = PackedMatcher(one_bit_codec)
+        words = rng.integers(0, 2, size=(40, 12))
+        matcher.add_exact_packed(one_bit_codec.pack_codes(words))
+        assert matcher.contains_codes(words).all()
+        probes = rng.integers(0, 2, size=(200, 12))
+        expected = np.array(
+            [any((w == p).all() for w in words) for p in probes]
+        )
+        np.testing.assert_array_equal(matcher.contains_codes(probes), expected)
+
+    def test_wrong_width_rejected(self, one_bit_codec):
+        matcher = PackedMatcher(one_bit_codec)
+        with pytest.raises(ShapeError):
+            matcher.add_exact_packed(np.zeros((2, 3), dtype=np.uint64))
+
+
+class TestTernaryMembership:
+    def test_dont_care_bits_match_both_values(self):
+        """The core word2set semantics: a don't-care accepts 0 and 1."""
+        codec = PatternCodec.from_thresholds(np.zeros(4), tolerance=0.0)
+        matcher = PackedMatcher(codec.word_codec)
+        # Ternary word (1, -, 0, -): low/high straddle the cut on bits 1, 3.
+        low = np.array([[0.5, -1.0, -1.0, -1.0]])
+        high = np.array([[1.0, 1.0, -0.5, 1.0]])
+        matcher.add_ternary(codec.ternary_planes(low, high))
+        for b1 in (0, 1):
+            for b3 in (0, 1):
+                assert matcher.contains_codes(np.array([[1, b1, 0, b3]]))[0]
+        assert not matcher.contains_codes(np.array([[0, 0, 0, 0]]))[0]
+        assert not matcher.contains_codes(np.array([[1, 1, 1, 1]]))[0]
+
+    def test_fully_constrained_rows_become_exact(self):
+        codec = PatternCodec.from_thresholds(np.zeros(3), tolerance=0.0)
+        matcher = PackedMatcher(codec.word_codec)
+        low = np.array([[0.5, 0.5, -1.0]])
+        high = np.array([[1.0, 1.0, -0.5]])
+        matcher.add_ternary(codec.ternary_planes(low, high))
+        assert matcher.num_exact == 1
+        assert matcher.num_ternary == 0
+        assert matcher.contains_codes(np.array([[1, 1, 0]]))[0]
+
+    def test_raw_rows_match_after_consolidation(self):
+        codec = WordCodec(70, 1)  # spans two machine words
+        rng = np.random.default_rng(3)
+        matcher = PackedMatcher(codec)
+        stored = []
+        for _ in range(15):
+            mask = rng.integers(0, 2, size=70).astype(bool)
+            value = rng.integers(0, 2, size=70).astype(bool) & mask
+            stored.append((value, mask))
+            value_words = [0, 0]
+            mask_words = [0, 0]
+            for index in range(70):
+                if mask[index]:
+                    mask_words[index >> 6] |= 1 << (index & 63)
+                    if value[index]:
+                        value_words[index >> 6] |= 1 << (index & 63)
+            matcher.add_ternary_raw(value_words, mask_words)
+        probes = rng.integers(0, 2, size=(120, 70))
+        expected = np.array(
+            [
+                any(((p.astype(bool) == v) | ~m).all() for v, m in stored)
+                for p in probes
+            ]
+        )
+        np.testing.assert_array_equal(matcher.contains_codes(probes), expected)
+
+
+class TestRangeMembership:
+    def test_range_entries(self):
+        codec = WordCodec(5, 2)
+        rng = np.random.default_rng(4)
+        matcher = PackedMatcher(codec)
+        low = rng.integers(0, 3, size=(8, 5))
+        high = low + rng.integers(0, 2, size=(8, 5))
+        matcher.add_code_ranges(low, high)
+        probes = rng.integers(0, 4, size=(150, 5))
+        expected = np.array(
+            [
+                any(((p >= lo) & (p <= hi)).all() for lo, hi in zip(low, high))
+                for p in probes
+            ]
+        )
+        np.testing.assert_array_equal(matcher.contains_codes(probes), expected)
+
+    def test_point_ranges_become_exact(self):
+        codec = WordCodec(4, 2)
+        matcher = PackedMatcher(codec)
+        word = np.array([[1, 2, 0, 3]])
+        matcher.add_code_ranges(word, word)
+        assert matcher.num_exact == 1
+        assert matcher.num_ranges == 0
+        assert matcher.contains_codes(word)[0]
+
+
+class TestMerge:
+    def test_merge_unions_entries(self):
+        codec = WordCodec(6, 1)
+        rng = np.random.default_rng(5)
+        left = PackedMatcher(codec)
+        right = PackedMatcher(codec)
+        words_left = rng.integers(0, 2, size=(10, 6))
+        words_right = rng.integers(0, 2, size=(10, 6))
+        left.add_exact_packed(codec.pack_codes(words_left))
+        right.add_exact_packed(codec.pack_codes(words_right))
+        left.merge(right)
+        assert left.contains_codes(words_left).all()
+        assert left.contains_codes(words_right).all()
+
+    def test_merge_width_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            PackedMatcher(WordCodec(6, 1)).merge(PackedMatcher(WordCodec(7, 1)))

@@ -1,0 +1,88 @@
+"""Tests for the bit-packing primitives of the runtime substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError, ShapeError
+from repro.runtime.packing import (
+    WORD_BITS,
+    pack_bool_matrix,
+    popcount,
+    unpack_bool_matrix,
+    words_for_bits,
+)
+
+
+class TestWordsForBits:
+    @pytest.mark.parametrize(
+        "num_bits,expected",
+        [(1, 1), (63, 1), (64, 1), (65, 2), (128, 2), (129, 3)],
+    )
+    def test_word_counts(self, num_bits, expected):
+        assert words_for_bits(num_bits) == expected
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            words_for_bits(0)
+
+
+class TestPackRoundTrip:
+    @pytest.mark.parametrize("num_bits", [1, 3, 63, 64, 65, 100, 128, 200])
+    def test_round_trip(self, num_bits):
+        rng = np.random.default_rng(num_bits)
+        bits = rng.random((17, num_bits)) < 0.5
+        packed = pack_bool_matrix(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (17, words_for_bits(num_bits))
+        recovered = unpack_bool_matrix(packed, num_bits)
+        np.testing.assert_array_equal(recovered, bits)
+
+    def test_padding_bits_are_zero(self):
+        """Trailing pad bits must be zero so rows hash/compare canonically."""
+        bits = np.ones((4, 70), dtype=bool)
+        packed = pack_bool_matrix(bits)
+        # Word 1 holds bits 64..69 only: value (1 << 6) - 1.
+        assert np.all(packed[:, 1] == np.uint64((1 << 6) - 1))
+
+    def test_bit_layout_is_lsb_first(self):
+        bits = np.zeros((1, WORD_BITS), dtype=bool)
+        bits[0, 0] = True
+        bits[0, 5] = True
+        packed = pack_bool_matrix(bits)
+        assert packed[0, 0] == np.uint64(1 | (1 << 5))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            pack_bool_matrix(np.zeros(8, dtype=bool))
+        with pytest.raises(ShapeError):
+            unpack_bool_matrix(np.zeros(2, dtype=np.uint64), 8)
+
+    def test_word_count_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            unpack_bool_matrix(np.zeros((3, 2), dtype=np.uint64), 8)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=150), st.integers(min_value=0, max_value=2**32))
+    def test_round_trip_property(self, num_bits, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.random((5, num_bits)) < rng.random()
+        np.testing.assert_array_equal(
+            unpack_bool_matrix(pack_bool_matrix(bits), num_bits), bits
+        )
+
+
+class TestPopcount:
+    def test_matches_python_bit_count(self):
+        rng = np.random.default_rng(0)
+        packed = rng.integers(0, 2**63, size=(6, 4), dtype=np.int64).astype(np.uint64)
+        counts = popcount(packed)
+        for row, count_row in zip(packed, counts):
+            for value, count in zip(row, count_row):
+                assert count == bin(int(value)).count("1")
+
+    def test_counts_packed_bits(self):
+        rng = np.random.default_rng(1)
+        bits = rng.random((9, 130)) < 0.3
+        assert popcount(pack_bool_matrix(bits)).sum() == bits.sum()
