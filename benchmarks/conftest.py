@@ -14,14 +14,38 @@ skips them; select them explicitly with ``-m benchmark``.
 Setting ``REPRO_BENCH_QUICK=1`` shrinks the session workloads (fewer samples
 and epochs) for a fast CI smoke run, typically combined with
 ``--benchmark-disable`` so each benchmark body executes exactly once.
+
+Perf-regression gate
+--------------------
+Benchmarks that should be guarded against regressions record wall times into
+the session-scoped :class:`BenchRecorder` (``bench_record`` fixture).  At
+session end the recorder writes a ``BENCH_<date>.json`` summary (path
+overridable via ``REPRO_BENCH_JSON``) containing the recorded timings plus a
+``_calibration`` entry — a fixed numpy workload timed on the same machine, so
+the gate (``benchmarks/perf_gate.py``) can compare machine-normalised ratios
+against the committed ``benchmarks/bench_baseline.json`` instead of raw
+seconds.
 """
 
 from __future__ import annotations
 
+import datetime
+import json
 import os
+import time
+from typing import Callable, Dict
 
 import numpy as np
 import pytest
+
+from repro.core.pipeline import (
+    MonitoringWorkload,
+    build_digits_workload,
+    build_track_workload,
+    default_monitored_layer,
+)
+from repro.data.perturbations import perturb_dataset_inputs
+from repro.eval.experiments import MonitorExperiment
 
 #: Quick-mode switch for CI smoke runs.
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
@@ -33,14 +57,92 @@ def pytest_collection_modifyitems(items):
     for item in items:
         item.add_marker(pytest.mark.slow)
 
-from repro.core.pipeline import (
-    MonitoringWorkload,
-    build_digits_workload,
-    build_track_workload,
-    default_monitored_layer,
-)
-from repro.data.perturbations import perturb_dataset_inputs
-from repro.eval.experiments import MonitorExperiment
+
+class BenchRecorder:
+    """Collects named wall times for the perf-regression gate.
+
+    ``measure`` runs a callable ``repeats`` times and records the *minimum*
+    wall time (the standard low-noise estimator) under ``name``; the
+    callable's last return value is handed back so benchmark bodies can keep
+    asserting on results.  The first ``measure`` call also times a fixed
+    numpy calibration workload, stored as ``_calibration``, which the gate
+    uses to normalise away machine-speed differences.
+    """
+
+    CALIBRATION_KEY = "_calibration"
+
+    def __init__(self) -> None:
+        self.timings: Dict[str, float] = {}
+
+    def _calibrate(self) -> None:
+        if self.CALIBRATION_KEY in self.timings:
+            return
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(256, 256))
+        best = float("inf")
+        for _ in range(5):
+            start = time.perf_counter()
+            accumulator = matrix
+            for _ in range(8):
+                accumulator = np.tanh(accumulator @ matrix * 1e-3)
+            float(accumulator.sum())
+            best = min(best, time.perf_counter() - start)
+        self.timings[self.CALIBRATION_KEY] = best
+
+    def measure(
+        self,
+        name: str,
+        workload: Callable[[], object],
+        repeats: int = 3,
+        inner: int = 1,
+    ):
+        """Record ``min over repeats`` of the mean time of ``inner`` calls.
+
+        Sub-millisecond workloads need ``inner > 1`` so that one timing
+        sample is large relative to timer resolution and scheduler noise —
+        otherwise the 25% regression threshold of the perf gate trips on
+        jitter.
+        """
+        self._calibrate()
+        best = float("inf")
+        result = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            for _ in range(max(1, inner)):
+                result = workload()
+            best = min(best, (time.perf_counter() - start) / max(1, inner))
+        self.timings[name] = best
+        return result
+
+    def record(self, name: str, seconds: float) -> None:
+        """Record an externally measured timing (e.g. a derived ratio)."""
+        self._calibrate()
+        self.timings[name] = float(seconds)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "quick": QUICK,
+            "timings": dict(sorted(self.timings.items())),
+        }
+
+
+_RECORDER = BenchRecorder()
+
+
+@pytest.fixture(scope="session")
+def bench_record() -> BenchRecorder:
+    return _RECORDER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDER.timings:
+        return
+    date = datetime.date.today().isoformat()
+    path = os.environ.get("REPRO_BENCH_JSON", f"BENCH_{date}.json")
+    with open(path, "w") as handle:
+        json.dump(_RECORDER.summary(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
 
 #: Perturbation budget used throughout the track experiments.  Matched to the
 #: aleatory jitter of the in-ODD evaluation data (see DESIGN.md E1).

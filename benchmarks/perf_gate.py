@@ -1,0 +1,150 @@
+"""CI perf-regression gate over the recorded benchmark timings.
+
+Compares a freshly produced ``BENCH_<date>.json`` (written by the
+``bench_record`` fixture in ``benchmarks/conftest.py``) against the
+committed ``benchmarks/bench_baseline.json`` and fails when any tracked
+benchmark regressed by more than the threshold (default 25%).
+
+Raw wall times are not comparable across machines, so both files carry a
+``_calibration`` entry — a fixed numpy workload timed in the same session —
+and the gate compares *calibration-normalised* ratios::
+
+    normalised = timings[name] / timings["_calibration"]
+    regression = normalised_current / normalised_baseline - 1
+
+Usage::
+
+    python benchmarks/perf_gate.py BENCH_2026-07-29.json
+    python benchmarks/perf_gate.py BENCH_2026-07-29.json --threshold 0.25
+    python benchmarks/perf_gate.py BENCH_2026-07-29.json --update-baseline
+
+``--update-baseline`` rewrites the committed baseline from the current
+summary (run after an intentional perf change, commit the result).
+Benchmarks present in only one of the two files are reported but do not
+fail the gate, so adding or retiring a benchmark does not need a lockstep
+baseline update.
+
+Calibration cancels uniform machine-speed differences but not every
+microarchitectural one (BLAS build, per-call overhead), so the committed
+baseline should be recorded on the machine class that runs the gate: after
+the first CI run (or a runner change), download the job's uploaded
+``bench_current.json`` artifact and commit it via ``--update-baseline``.
+Setting ``REPRO_PERF_GATE_WARN_ONLY=1`` reports regressions without failing
+— the escape hatch for exactly that re-baselining window.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+CALIBRATION_KEY = "_calibration"
+DEFAULT_BASELINE = os.path.join(os.path.dirname(__file__), "bench_baseline.json")
+
+
+def load_summary(path: str) -> dict:
+    with open(path) as handle:
+        summary = json.load(handle)
+    timings = summary.get("timings", {})
+    if CALIBRATION_KEY not in timings:
+        raise SystemExit(f"{path}: missing '{CALIBRATION_KEY}' entry")
+    if timings[CALIBRATION_KEY] <= 0:
+        raise SystemExit(f"{path}: non-positive calibration time")
+    return summary
+
+
+def normalised(timings: dict) -> dict:
+    """Calibration-normalised tracked timings.
+
+    Names starting with ``_`` (the calibration entry itself and any
+    informational timings too small/noisy to gate on) are excluded.
+    """
+    calibration = timings[CALIBRATION_KEY]
+    return {
+        name: seconds / calibration
+        for name, seconds in timings.items()
+        if not name.startswith("_")
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="BENCH_<date>.json produced by this run")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated slowdown fraction (0.25 = fail above +25%%)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current summary and exit",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_summary(args.current)
+    if args.update_baseline:
+        with open(args.baseline, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    baseline = load_summary(args.baseline)
+    if current.get("quick") != baseline.get("quick"):
+        print(
+            "warning: quick-mode flag differs between baseline "
+            f"({baseline.get('quick')}) and current ({current.get('quick')}); "
+            "ratios may not be comparable"
+        )
+
+    base_ratios = normalised(baseline["timings"])
+    curr_ratios = normalised(current["timings"])
+    tracked = sorted(set(base_ratios) & set(curr_ratios))
+    only_base = sorted(set(base_ratios) - set(curr_ratios))
+    only_curr = sorted(set(curr_ratios) - set(base_ratios))
+
+    if not tracked:
+        raise SystemExit("no benchmark appears in both baseline and current summary")
+
+    failures = []
+    print(f"{'benchmark':<40} {'baseline':>10} {'current':>10} {'change':>8}")
+    for name in tracked:
+        change = curr_ratios[name] / base_ratios[name] - 1.0
+        flag = ""
+        if change > args.threshold:
+            failures.append((name, change))
+            flag = "  << REGRESSION"
+        print(
+            f"{name:<40} {base_ratios[name]:>10.3f} {curr_ratios[name]:>10.3f} "
+            f"{change:>+7.1%}{flag}"
+        )
+    for name in only_base:
+        print(f"{name:<40} (retired: baseline only)")
+    for name in only_curr:
+        print(f"{name:<40} (new: no baseline yet)")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%} vs baseline:"
+        )
+        for name, change in failures:
+            print(f"  {name}: {change:+.1%}")
+        if os.environ.get("REPRO_PERF_GATE_WARN_ONLY", "") == "1":
+            print(
+                "REPRO_PERF_GATE_WARN_ONLY=1: reporting only — re-baseline "
+                "from this run's summary once the machine class is settled"
+            )
+            return 0
+        return 1
+    print(f"\nOK: no tracked benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

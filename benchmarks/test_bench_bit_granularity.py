@@ -10,7 +10,7 @@ standard and the robust interval monitors on the track workload.
 
 import pytest
 
-from repro.eval.reporting import format_rate, format_table
+from repro.eval.reporting import format_table
 from repro.eval.sweep import bit_width_sweep
 
 TRACK_DELTA = 0.002

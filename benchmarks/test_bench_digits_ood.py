@@ -9,7 +9,6 @@ never-seen glyph shapes and on corrupted digits, for both the standard and
 robust constructions.
 """
 
-import numpy as np
 import pytest
 
 from repro.data.scenarios import sensor_noise_scenario

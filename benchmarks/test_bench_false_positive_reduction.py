@@ -54,7 +54,7 @@ def test_minmax_false_positive_reduction(benchmark, track_experiment, track_work
                  format_rate(robust_score.mean_detection_rate)],
             ],
             title=f"E1 (min-max): FP reduction = {reduction:.1%} "
-            f"(paper: 0.62% -> 0.125%, ~80%)",
+            "(paper: 0.62% -> 0.125%, ~80%)",
         )
     )
     assert robust_score.false_positive_rate <= standard_score.false_positive_rate

@@ -51,7 +51,10 @@ def test_figure1_case_table(benchmark):
     print(
         format_table(
             ["case", "l", "u", "robust code set", "expected (Fig. 1)"],
-            [[label, low, high, str(observed), str(expected)] for label, low, high, observed, expected in rows],
+            [
+                [label, low, high, str(observed), str(expected)]
+                for label, low, high, observed, expected in rows
+            ],
             title="E3: Figure 1 robust 2-bit encoding cases",
         )
     )

@@ -61,7 +61,7 @@ def test_no_warning_on_delta_perturbed_training_scenes(
     violations, total = benchmark(count_violations)
     print(
         f"\nE5 ({family}): {violations} Lemma-1 violations over {total} "
-        f"Δ-bounded perturbations (must be 0)"
+        "Δ-bounded perturbations (must be 0)"
     )
     assert violations == 0
 

@@ -70,7 +70,10 @@ def test_backend_comparison_table(benchmark, track_workload, track_layer):
     print(
         format_table(
             ["method", "mean bound width", "don't-care fraction"],
-            [[r["method"], f"{r['mean_width']:.4f}", f"{r['dont_care_fraction']:.3f}"] for r in rows],
+            [
+                [r["method"], f"{r['mean_width']:.4f}", f"{r['dont_care_fraction']:.3f}"]
+                for r in rows
+            ],
             title="E7: bound-propagation back-end precision",
         )
     )

@@ -11,8 +11,6 @@ pixel-level Δ and the false-positive/detection trade-off is printed.
 Run with:  python examples/digits_ood_detection.py
 """
 
-import numpy as np
-
 from repro import (
     ClassConditionalMonitor,
     MonitorBuilder,

@@ -17,7 +17,7 @@ Run with:  python examples/interval_monitor_tuning.py
 
 import numpy as np
 
-from repro import PerturbationSpec, build_track_workload, default_monitored_layer
+from repro import build_track_workload, default_monitored_layer
 from repro.data import perturb_dataset_inputs
 from repro.eval import (
     MonitorExperiment,

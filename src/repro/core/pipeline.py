@@ -18,9 +18,7 @@ regression task and the MNIST-like classification task).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Sequence
-
-import numpy as np
+from typing import Dict, Optional, Sequence
 
 from ..data.datasets import Dataset, train_validation_test_split
 from ..data.scenarios import in_odd_jitter, scenario_suite

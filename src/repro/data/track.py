@@ -21,7 +21,7 @@ Images are 16×16 grayscale, flattened to 256-dimensional input vectors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

@@ -63,7 +63,9 @@ def pattern_space_coverage(monitor: PatternMonitor) -> float:
     return float(stored) / float(2**total_bits)
 
 
-def envelope_occupancy(monitor: MinMaxMonitor, reference_low: np.ndarray, reference_high: np.ndarray) -> float:
+def envelope_occupancy(
+    monitor: MinMaxMonitor, reference_low: np.ndarray, reference_high: np.ndarray
+) -> float:
     """Mean per-neuron fraction of a reference range covered by the envelope.
 
     ``reference_low`` / ``reference_high`` describe the operating range the

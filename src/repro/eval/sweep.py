@@ -12,10 +12,15 @@ Each sweep fits one monitor per parameter value on the same
 :class:`~repro.eval.experiments.MonitorExperiment` and returns a list of row
 dictionaries ready for :func:`~repro.eval.reporting.format_results_table`.
 
-Scoring goes through the experiment's batched engine, whose activation cache
-is keyed by evaluation-set content: the network forward passes are computed
-once for the first parameter value and reused by every subsequent one, so a
-sweep of ``n`` monitors pays for one set of forward passes, not ``n``.
+Fitting and scoring both go through the experiment's batched engine.  On the
+scoring side the activation cache is keyed by evaluation-set content: the
+network forward passes are computed once for the first parameter value and
+reused by every subsequent one, so a sweep of ``n`` monitors pays for one set
+of forward passes, not ``n``.  On the fitting side the engine's bound cache
+does the same for the symbolic propagations of robust fits: sweeps over
+perturbation deltas reuse the cached anchor pass over the training set, and
+repeated fits under one ``(Δ, k_p, method)`` model (e.g. a bit-width sweep of
+robust interval monitors) reuse the whole propagation.
 """
 
 from __future__ import annotations
@@ -61,7 +66,9 @@ def delta_sweep(
         else:
             spec = PerturbationSpec(delta=delta, layer=perturbation_layer, method=method)
             builder = MonitorBuilder(family, layer_index, perturbation=spec, **options)
-        monitor = builder.build_and_fit(experiment.network, experiment.fit_inputs)
+        monitor = builder.build_and_fit(
+            experiment.network, experiment.fit_inputs, engine=experiment.engine
+        )
         score = experiment.evaluate_monitor(f"{family}-delta-{delta}", monitor)
         rows.append(_row_from_score(score, delta=delta, family=family))
     return rows
@@ -83,7 +90,9 @@ def method_sweep(
     for method in methods:
         spec = PerturbationSpec(delta=delta, layer=perturbation_layer, method=method)
         builder = MonitorBuilder(family, layer_index, perturbation=spec, **options)
-        monitor = builder.build_and_fit(experiment.network, experiment.fit_inputs)
+        monitor = builder.build_and_fit(
+            experiment.network, experiment.fit_inputs, engine=experiment.engine
+        )
         score = experiment.evaluate_monitor(f"{family}-{method}", monitor)
         rows.append(_row_from_score(score, method=method, delta=delta, family=family))
     return rows
@@ -120,7 +129,9 @@ def bit_width_sweep(
             num_cuts=num_cuts,
             cut_strategy=cut_strategy,
         )
-        monitor = builder.build_and_fit(experiment.network, experiment.fit_inputs)
+        monitor = builder.build_and_fit(
+            experiment.network, experiment.fit_inputs, engine=experiment.engine
+        )
         score = experiment.evaluate_monitor(f"interval-{num_cuts}cuts", monitor)
         rows.append(
             _row_from_score(
@@ -153,7 +164,9 @@ def layer_sweep(
             else None
         )
         builder = MonitorBuilder(family, layer_index, perturbation=spec, **options)
-        monitor = builder.build_and_fit(experiment.network, experiment.fit_inputs)
+        monitor = builder.build_and_fit(
+            experiment.network, experiment.fit_inputs, engine=experiment.engine
+        )
         score = experiment.evaluate_monitor(f"{family}-layer-{layer_index}", monitor)
         rows.append(_row_from_score(score, layer_index=layer_index, family=family))
     return rows

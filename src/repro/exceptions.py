@@ -13,12 +13,15 @@ class ReproError(Exception):
     """Base class for every error raised by the :mod:`repro` library."""
 
 
-class ConfigurationError(ReproError):
+class ConfigurationError(ReproError, ValueError):
     """Raised when an object is constructed with inconsistent parameters.
 
     Examples include a monitor configured with a perturbation layer that is
-    not strictly before the monitored layer, or interval thresholds that are
-    not strictly increasing.
+    not strictly before the monitored layer, an unknown bound-propagation
+    back-end name, or interval thresholds that are not strictly increasing.
+    Also a ``ValueError`` so that callers validating plain string/number
+    arguments (e.g. a propagation back-end name) can use the idiomatic
+    ``except ValueError``.
     """
 
 

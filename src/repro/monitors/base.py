@@ -29,6 +29,12 @@ and single-sample verdicts agree on any workload.
 full-layer activations, which is how the
 :class:`~repro.runtime.engine.BatchScoringEngine` shares one forward pass
 across every monitor fitted on the same network.
+
+A monitor may additionally be *bound* to an engine (:meth:`bind_engine`):
+feature extraction then goes through the engine's activation cache, and
+robust fits pull their perturbation-estimate matrices from the engine's
+bound cache — so several robust monitor families sharing one perturbation
+model and training set pay for a single symbolic propagation.
 """
 
 from __future__ import annotations
@@ -40,6 +46,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, NotFittedError, ShapeError
 from ..nn.network import Sequential
+from .perturbation import PerturbationSpec, collect_bound_arrays
 
 __all__ = ["MonitorVerdict", "ActivationMonitor"]
 
@@ -106,6 +113,7 @@ class ActivationMonitor:
             self.neuron_indices = indices
         self._fitted = False
         self._num_training_samples = 0
+        self._engine = None
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -129,18 +137,60 @@ class ActivationMonitor:
                 f"{self.__class__.__name__} must be fitted before use"
             )
 
+    def bind_engine(self, engine) -> "ActivationMonitor":
+        """Attach a :class:`~repro.runtime.engine.BatchScoringEngine`.
+
+        A bound monitor routes feature extraction and (for robust variants)
+        perturbation-estimate computation through the engine's caches, so
+        every monitor bound to the same engine shares forward passes and
+        symbolic propagations.  The engine must wrap this monitor's network;
+        pass ``None`` to detach.  Returns ``self`` for chaining.
+
+        Binding is meant for *batch* work — fitting and bulk evaluation.
+        Keep per-frame deployment scoring unbound: a one-row ``warn`` through
+        the cache pays fingerprinting plus an all-layers forward pass and
+        churns the LRU for no reuse.  The builder/ensemble/class-conditional
+        helpers therefore bind only for the duration of ``fit`` and detach
+        before returning.
+        """
+        if engine is not None and getattr(engine, "network", None) is not self.network:
+            raise ConfigurationError(
+                "bind_engine needs an engine built on this monitor's network"
+            )
+        self._engine = engine
+        return self
+
     def features(self, inputs: np.ndarray) -> np.ndarray:
         """Monitored-layer feature vectors of ``inputs`` (always 2-D).
 
         One vectorised forward pass for the whole batch — the runtime hot
         path.  Fit and scoring both go through here, so abstractions and
-        queries see the same arithmetic for identical batches.
+        queries see the same arithmetic for identical batches.  Monitors
+        bound to an engine read the pass from its activation cache (the same
+        sequential layer walk, so results are identical).
         """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
         if inputs.shape[0] == 0:
             return np.zeros((0, self.num_monitored_neurons))
-        features = np.atleast_2d(self.network.forward_to(self.layer_index, inputs))
+        if self._engine is not None:
+            features = self._engine.layer_features(inputs, self.layer_index)
+        else:
+            features = np.atleast_2d(self.network.forward_to(self.layer_index, inputs))
         return features[:, self.neuron_indices]
+
+    def _perturbation_bound_arrays(
+        self, inputs: np.ndarray, spec: PerturbationSpec
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Full-layer ``(lows, highs)`` perturbation estimates of ``inputs``.
+
+        Robust fits call this instead of
+        :func:`~repro.monitors.perturbation.collect_bound_arrays` directly so
+        that engine-bound monitors share cached propagations (one per
+        ``(training set, layer, spec)`` across all monitor families).
+        """
+        if self._engine is not None:
+            return self._engine.bound_arrays(inputs, self.layer_index, spec)
+        return collect_bound_arrays(self.network, inputs, self.layer_index, spec)
 
     def features_from_layer(self, layer_activations: np.ndarray) -> np.ndarray:
         """Monitored-neuron slice of precomputed full-layer activations."""

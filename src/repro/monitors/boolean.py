@@ -30,7 +30,7 @@ from ..bdd.patterns import DONT_CARE, PatternSet
 from ..runtime.codec import PatternCodec
 from ..runtime.packing import popcount
 from .base import ActivationMonitor, MonitorVerdict
-from .perturbation import PerturbationSpec, collect_bound_arrays
+from .perturbation import PerturbationSpec
 from .thresholds import get_threshold_strategy
 
 __all__ = ["BooleanPatternMonitor", "RobustBooleanPatternMonitor"]
@@ -214,9 +214,7 @@ class RobustBooleanPatternMonitor(BooleanPatternMonitor):
         ]
 
     def _insert_robust_batch(self, inputs: np.ndarray) -> None:
-        lows, highs = collect_bound_arrays(
-            self.network, inputs, self.layer_index, self.perturbation
-        )
+        lows, highs = self._perturbation_bound_arrays(inputs, self.perturbation)
         lows = lows[:, self.neuron_indices]
         highs = highs[:, self.neuron_indices]
         planes = self.codec.ternary_planes(lows, highs)

@@ -11,7 +11,7 @@ monitor of the class the network predicts.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -66,8 +66,20 @@ class MonitorBuilder:
     def is_robust(self) -> bool:
         return self.perturbation is not None
 
-    def build(self, network: Sequential) -> ActivationMonitor:
-        """Instantiate the (unfitted) monitor for ``network``."""
+    def build(self, network: Sequential, engine=None) -> ActivationMonitor:
+        """Instantiate the (unfitted) monitor for ``network``.
+
+        ``engine`` optionally binds a
+        :class:`~repro.runtime.engine.BatchScoringEngine` so the monitor's
+        fit and scoring share the engine's activation/bound caches with
+        every other monitor bound to it.
+        """
+        monitor = self._instantiate(network)
+        if engine is not None:
+            monitor.bind_engine(engine)
+        return monitor
+
+    def _instantiate(self, network: Sequential) -> ActivationMonitor:
         options = dict(self.options)
         if self.family == "minmax":
             if self.is_robust:
@@ -89,11 +101,23 @@ class MonitorBuilder:
         return IntervalPatternMonitor(network, self.layer_index, **options)
 
     def build_and_fit(
-        self, network: Sequential, training_inputs: np.ndarray
+        self, network: Sequential, training_inputs: np.ndarray, engine=None
     ) -> ActivationMonitor:
-        """Instantiate the monitor and fit it on ``training_inputs``."""
-        monitor = self.build(network)
-        monitor.fit(training_inputs)
+        """Instantiate the monitor and fit it on ``training_inputs``.
+
+        A supplied ``engine`` is bound for the duration of the fit only (so
+        concurrent fits share cached forward passes and symbolic
+        propagations) and detached before returning: the fitted monitor's
+        per-frame scoring path stays engine-free, and no fit-time cache is
+        pinned by the monitor.  Call :meth:`build` and bind manually to keep
+        a persistent binding.
+        """
+        monitor = self.build(network, engine=engine)
+        try:
+            monitor.fit(training_inputs)
+        finally:
+            if engine is not None:
+                monitor.bind_engine(None)
         return monitor
 
     def describe(self) -> Dict[str, object]:
@@ -134,12 +158,17 @@ class ClassConditionalMonitor:
         network: Sequential,
         training_inputs: np.ndarray,
         labels: Optional[np.ndarray] = None,
+        engine=None,
     ) -> "ClassConditionalMonitor":
         """Fit one monitor per class.
 
         ``labels`` defaults to the network's own predictions, matching the
         deployment situation where ground truth is unavailable; passing the
-        true training labels is also supported.
+        true training labels is also supported.  Every per-class monitor is
+        bound to one shared :class:`~repro.runtime.engine.BatchScoringEngine`
+        (``engine``, or a fresh one when not given) so the per-class fits —
+        including robust symbolic propagations — go through one set of
+        caches.
         """
         training_inputs = np.atleast_2d(np.asarray(training_inputs, dtype=np.float64))
         if training_inputs.shape[0] == 0:
@@ -149,6 +178,10 @@ class ClassConditionalMonitor:
         labels = np.asarray(labels, dtype=np.int64)
         if labels.shape[0] != training_inputs.shape[0]:
             raise ShapeError("labels and training inputs disagree on sample count")
+        if engine is None:
+            from ..runtime.engine import BatchScoringEngine
+
+            engine = BatchScoringEngine(network, max_cache_entries=self.num_classes + 2)
         self._network = network
         self._monitors = {}
         for class_id in range(self.num_classes):
@@ -156,7 +189,9 @@ class ClassConditionalMonitor:
             if members.shape[0] == 0:
                 # No training data for this class: warn on any input routed here.
                 continue
-            self._monitors[class_id] = self.builder.build_and_fit(network, members)
+            self._monitors[class_id] = self.builder.build_and_fit(
+                network, members, engine=engine
+            )
         return self
 
     def _require_fitted(self) -> None:

@@ -69,9 +69,35 @@ class MonitorEnsemble:
         return all(monitor.is_fitted for monitor in self.monitors)
 
     def fit(self, training_inputs: np.ndarray) -> "MonitorEnsemble":
-        """Fit every member monitor on the same training data."""
-        for monitor in self.monitors:
-            monitor.fit(training_inputs)
+        """Fit every member monitor on the same training data.
+
+        Unbound members sharing a network are bound to the ensemble's
+        per-network engine for the duration of the fit, so their fits share
+        forward passes and — for robust members with the same perturbation
+        model — one symbolic propagation of the training set instead of one
+        per member.  The temporary bindings are detached afterwards (keeping
+        members' per-frame scoring engine-free); members the caller already
+        bound to an engine keep that binding and its caches.
+        """
+        ensemble_bound = []
+        try:
+            for monitor in self.monitors:
+                if getattr(monitor, "_engine", None) is None and hasattr(
+                    monitor, "bind_engine"
+                ):
+                    engine = self._engine_for(monitor)
+                    if engine is not None:
+                        monitor.bind_engine(engine)
+                        ensemble_bound.append(monitor)
+                monitor.fit(training_inputs)
+        finally:
+            for monitor in ensemble_bound:
+                monitor.bind_engine(None)
+            # Fit-time scratch (training-set activations and bound matrices)
+            # is not needed for scoring; drop it instead of letting it age
+            # out of the LRU while eval batches come in.
+            for engine in self._engines.values():
+                engine.cache.clear()
         return self
 
     # ------------------------------------------------------------------

@@ -30,7 +30,7 @@ from ..bdd.patterns import PatternSet
 from ..runtime.codec import PatternCodec
 from .base import ActivationMonitor, MonitorVerdict
 from .encoding import bits_for_cuts
-from .perturbation import PerturbationSpec, collect_bound_arrays
+from .perturbation import PerturbationSpec
 from .thresholds import get_threshold_strategy, validate_cut_points
 
 __all__ = ["IntervalPatternMonitor", "RobustIntervalPatternMonitor"]
@@ -92,7 +92,7 @@ class IntervalPatternMonitor(ActivationMonitor):
             cuts = validate_cut_points(np.asarray(self._explicit_cut_points, dtype=np.float64))
             if cuts.shape != (self.num_monitored_neurons, self.num_cuts):
                 raise ShapeError(
-                    f"cut_points must have shape "
+                    "cut_points must have shape "
                     f"({self.num_monitored_neurons}, {self.num_cuts}), got {cuts.shape}"
                 )
             return cuts
@@ -203,9 +203,7 @@ class RobustIntervalPatternMonitor(IntervalPatternMonitor):
         self._ambiguous_positions = 0
 
     def _insert_robust_batch(self, inputs: np.ndarray) -> None:
-        lows, highs = collect_bound_arrays(
-            self.network, inputs, self.layer_index, self.perturbation
-        )
+        lows, highs = self._perturbation_bound_arrays(inputs, self.perturbation)
         lows = lows[:, self.neuron_indices]
         highs = highs[:, self.neuron_indices]
         low_codes, high_codes = self.codec.bound_codes(lows, highs)

@@ -24,7 +24,7 @@ from ..exceptions import ConfigurationError, ShapeError
 from ..nn.network import Sequential
 from ..symbolic.interval import Box
 from .base import ActivationMonitor, MonitorVerdict
-from .perturbation import PerturbationSpec, collect_bound_arrays
+from .perturbation import PerturbationSpec
 
 __all__ = ["MinMaxMonitor", "RobustMinMaxMonitor"]
 
@@ -164,9 +164,7 @@ class RobustMinMaxMonitor(MinMaxMonitor):
         self.perturbation = perturbation
 
     def _bound_arrays(self, inputs: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
-        lows, highs = collect_bound_arrays(
-            self.network, inputs, self.layer_index, self.perturbation
-        )
+        lows, highs = self._perturbation_bound_arrays(inputs, self.perturbation)
         return lows[:, self.neuron_indices], highs[:, self.neuron_indices]
 
     def fit(self, training_inputs: np.ndarray) -> "RobustMinMaxMonitor":

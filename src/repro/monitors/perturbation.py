@@ -9,28 +9,38 @@ robust construction:
 * ``method`` — the sound bound-propagation back-end (``"box"``,
   ``"zonotope"`` or ``"star"``).
 
-:func:`perturbation_estimate` computes ``pe^G_k(v, k_p, Δ)`` for a single
-training input and :func:`perturbation_estimates` vectorises over a data set,
-which is the inner loop of every robust monitor's ``fit``.
+:func:`collect_bound_arrays` computes ``pe^G_k(v, k_p, Δ)`` for every row of
+a data set through the batched symbolic back-ends
+(:func:`repro.symbolic.propagation.perturbation_bounds_batch`) — one
+propagation for the whole set, no per-sample Python loop for the box and
+zonotope back-ends.  This is the inner loop of every robust monitor's
+``fit``.  :func:`collect_bound_arrays_loop` keeps the original one-row-at-a-
+time path as an executable reference for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..nn.network import Sequential
 from ..symbolic.interval import Box
-from ..symbolic.propagation import PROPAGATION_METHODS, perturbation_bounds
+from ..symbolic.propagation import (
+    PROPAGATION_METHODS,
+    perturbation_bounds,
+    perturbation_bounds_batch,
+)
 
 __all__ = [
     "PerturbationSpec",
     "perturbation_estimate",
     "perturbation_estimates",
+    "collect_estimates",
     "collect_bound_arrays",
+    "collect_bound_arrays_loop",
 ]
 
 
@@ -57,6 +67,11 @@ class PerturbationSpec:
     def is_trivial(self) -> bool:
         """True when ``Δ = 0`` so the estimate degenerates to a point."""
         return self.delta == 0.0
+
+    @property
+    def cache_key(self) -> Tuple[float, int, str]:
+        """Hashable identity of the perturbation model (for bound caches)."""
+        return (self.delta, self.layer, self.method)
 
     def describe(self) -> str:
         return f"Δ={self.delta}, k_p={self.layer}, method={self.method}"
@@ -97,18 +112,13 @@ def perturbation_estimates(
 ) -> Iterator[Box]:
     """Yield the perturbation estimate of every row of ``inputs``.
 
-    With a trivial spec (``Δ = 0``) the estimates are computed with a single
-    batched forward pass for efficiency; otherwise each input is propagated
-    symbolically on its own.
+    The whole data set is propagated in one batched pass
+    (:func:`collect_bound_arrays`) and the rows are wrapped as
+    :class:`~repro.symbolic.interval.Box` objects on the way out.
     """
-    inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-    if spec.is_trivial:
-        features = network.forward_to(monitored_layer, inputs)
-        for row in np.atleast_2d(features):
-            yield Box.from_point(row)
-        return
-    for row in inputs:
-        yield perturbation_estimate(network, row, monitored_layer, spec)
+    lows, highs = collect_bound_arrays(network, inputs, monitored_layer, spec)
+    for low, high in zip(lows, highs):
+        yield Box(low, high)
 
 
 def collect_estimates(
@@ -126,18 +136,77 @@ def collect_bound_arrays(
     inputs: np.ndarray,
     monitored_layer: int,
     spec: PerturbationSpec,
-) -> "tuple[np.ndarray, np.ndarray]":
+    anchors: "np.ndarray | None" = None,
+) -> Tuple[np.ndarray, np.ndarray]:
     """Stack every row's perturbation estimate into ``(N, d_k)`` bound matrices.
 
     This is the batch-friendly form the vectorised robust monitors consume:
     row ``i`` of the returned ``(lows, highs)`` pair is ``pe^G_k`` of input
-    ``i``.  A trivial spec (``Δ = 0``) degenerates to one batched forward
-    pass with ``lows == highs``.
+    ``i``.  The whole batch goes through one symbolic propagation — the box
+    and zonotope back-ends perform no per-sample Python loop; the star
+    back-end keeps a per-row symbolic walk (its LP bound queries are
+    inherently per-row) behind the same batched interface and anchor pass.
+    A trivial spec (``Δ = 0``) degenerates to one batched forward pass with
+    ``lows == highs``.
+
+    ``anchors`` optionally supplies precomputed layer-``k_p`` activations of
+    ``inputs`` (e.g. from a
+    :class:`~repro.runtime.engine.ActivationCache`), skipping the concrete
+    anchor pass — that is how a sweep over ``Δ`` values pays for the forward
+    pass once.
     """
+    if spec.layer >= monitored_layer:
+        raise ConfigurationError(
+            f"perturbation layer k_p={spec.layer} must be strictly before the "
+            f"monitored layer k={monitored_layer}"
+        )
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+    if spec.is_trivial:
+        if anchors is not None:
+            features = np.atleast_2d(
+                network.forward_from_to(
+                    spec.layer + 1, monitored_layer, np.asarray(anchors)
+                )
+            )
+        else:
+            features = np.atleast_2d(network.forward_to(monitored_layer, inputs))
+        # Distinct arrays: callers that adjust one bound in place must not
+        # silently drag the other (or a cached entry) along with it.
+        return features, np.array(features, copy=True)
+    return perturbation_bounds_batch(
+        network,
+        inputs,
+        monitored_layer=monitored_layer,
+        perturbation_layer=spec.layer,
+        delta=spec.delta,
+        method=spec.method,
+        anchors=anchors,
+    )
+
+
+def collect_bound_arrays_loop(
+    network: Sequential,
+    inputs: np.ndarray,
+    monitored_layer: int,
+    spec: PerturbationSpec,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference implementation: one symbolic propagation per input row.
+
+    Semantically identical to :func:`collect_bound_arrays` but pays one full
+    abstract-domain walk per sample.  Kept as the ground truth the batched
+    path is pinned against (``tests/symbolic/test_batched.py``,
+    ``tests/monitors/test_robust_fit_batched.py``) and as the baseline the
+    robust-fit benchmark measures its speedup over.
+    """
+    if spec.layer >= monitored_layer:
+        raise ConfigurationError(
+            f"perturbation layer k_p={spec.layer} must be strictly before the "
+            f"monitored layer k={monitored_layer}"
+        )
     inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
     if spec.is_trivial:
         features = np.atleast_2d(network.forward_to(monitored_layer, inputs))
-        return features, features
+        return features, np.array(features, copy=True)
     lows: List[np.ndarray] = []
     highs: List[np.ndarray] = []
     for row in inputs:

@@ -92,7 +92,12 @@ class Layer:
     def propagate_box(
         self, low: np.ndarray, high: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Propagate an axis-aligned box soundly through the layer."""
+        """Propagate axis-aligned boxes soundly through the layer.
+
+        Accepts either ``(d,)`` bounds describing one box or ``(N, d)`` bound
+        matrices describing one box per row; the batched form is the hot path
+        of :meth:`repro.nn.network.Sequential.propagate_box_batch`.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -315,9 +320,13 @@ class Flatten(Layer):
         return np.asarray(grad_output, dtype=np.float64)
 
     def propagate_box(self, low, high):
-        low = np.asarray(low, dtype=np.float64).reshape(-1)
-        high = np.asarray(high, dtype=np.float64).reshape(-1)
-        return low, high
+        # 1-D bounds describe a single box; 2-D bounds carry a leading batch
+        # axis (one box per row) and must keep it, like :meth:`forward`.
+        low = np.asarray(low, dtype=np.float64)
+        high = np.asarray(high, dtype=np.float64)
+        if low.ndim <= 1:
+            return low.reshape(-1), high.reshape(-1)
+        return low.reshape(low.shape[0], -1), high.reshape(high.shape[0], -1)
 
     def get_config(self) -> Dict[str, object]:
         return {"type": "Flatten"}

@@ -211,6 +211,43 @@ class Sequential:
             low, high = layer.propagate_box(low, high)
         return low, high
 
+    def propagate_box_batch(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        from_layer: int,
+        to_layer: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Propagate one box per row of ``(N, d)`` bound matrices.
+
+        The batched counterpart of :meth:`propagate_box`: row ``i`` of the
+        result is a sound axis-aligned over-approximation of
+        ``G^{from_layer+1 ↪ to_layer}`` applied to the ``i``-th input box.
+        Every layer's interval transformer is applied to the whole batch at
+        once (one matrix product per affine layer), so the cost of ``N`` boxes
+        is one layer walk instead of ``N``.
+        """
+        self._check_layer_index(from_layer, allow_zero=True)
+        self._check_layer_index(to_layer)
+        if from_layer >= to_layer:
+            raise LayerIndexError(
+                f"from_layer ({from_layer}) must be strictly before to_layer "
+                f"({to_layer})"
+            )
+        lows = np.asarray(lows, dtype=np.float64)
+        highs = np.asarray(highs, dtype=np.float64)
+        expected = self.layer_output_dim(from_layer)
+        if lows.ndim != 2 or lows.shape[1] != expected or lows.shape != highs.shape:
+            raise ShapeError(
+                f"batched box bounds must have shape (N, {expected}); got "
+                f"{lows.shape} and {highs.shape}"
+            )
+        if np.any(lows > highs):
+            raise ShapeError("box lower bound exceeds upper bound")
+        for layer in self.layers[from_layer:to_layer]:
+            lows, highs = layer.propagate_box(lows, highs)
+        return lows, highs
+
     # ------------------------------------------------------------------
     # serialization
     # ------------------------------------------------------------------

@@ -10,7 +10,7 @@ examples print.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -191,7 +191,10 @@ def train_classifier(
     validation = None
     if validation_data is not None:
         val_inputs, val_labels = validation_data
-        validation = (np.asarray(val_inputs, dtype=np.float64), one_hot(np.asarray(val_labels), num_classes))
+        validation = (
+            np.asarray(val_inputs, dtype=np.float64),
+            one_hot(np.asarray(val_labels), num_classes),
+        )
 
     def metric(net: Sequential, x: np.ndarray, y_onehot: np.ndarray) -> float:
         return accuracy(net, x, np.argmax(y_onehot, axis=-1))

@@ -46,6 +46,16 @@ class ActivationCache:
     *and* a digest of the network weights, so continuing to train the
     network invalidates the cache instead of silently serving stale
     activations.
+
+    A second LRU level (:meth:`bound_arrays`) caches the *symbolic* side of
+    robust monitor construction: the ``(lows, highs)`` perturbation-estimate
+    matrices of an input batch at one layer under one
+    :class:`~repro.monitors.perturbation.PerturbationSpec`.  Keys add the
+    spec's ``(Δ, k_p, method)`` identity on top of the content/weights key,
+    so fitting several robust monitor families with the same perturbation
+    model on the same training set pays for one propagation, and a sweep
+    over ``Δ`` values reuses the cached layer-``k_p`` anchor activations
+    (the concrete half of every propagation) across all deltas.
     """
 
     def __init__(self, network: Sequential, max_entries: int = 16) -> None:
@@ -54,8 +64,13 @@ class ActivationCache:
         self.network = network
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[Tuple, List[np.ndarray]]" = OrderedDict()
+        self._bound_entries: "OrderedDict[Tuple, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
         self.hits = 0
         self.misses = 0
+        self.bound_hits = 0
+        self.bound_misses = 0
 
     def _weights_digest(self) -> bytes:
         """Digest of the network parameters (cheap next to a forward pass)."""
@@ -84,8 +99,56 @@ class ActivationCache:
             )
         return entry[layer_index - 1]
 
+    def bound_arrays(
+        self, inputs: np.ndarray, layer_index: int, spec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(lows, highs)`` perturbation estimates of a batch.
+
+        ``spec`` is a :class:`~repro.monitors.perturbation.PerturbationSpec`;
+        the result equals ``collect_bound_arrays(network, inputs,
+        layer_index, spec)``.  Anchor activations at the perturbation layer
+        are pulled from (and inserted into) the activation level of the
+        cache, so propagations of the same batch under different deltas or
+        back-ends share one concrete forward pass.
+        """
+        from ..monitors.perturbation import collect_bound_arrays
+
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        key = (
+            _fingerprint(inputs)
+            + (self._weights_digest(),)
+            + ("bounds", int(layer_index))
+            + spec.cache_key
+        )
+        entry = self._bound_entries.get(key)
+        if entry is not None:
+            self.bound_hits += 1
+            self._bound_entries.move_to_end(key)
+            return entry
+        self.bound_misses += 1
+        # The layer_activations level computes (or replays) the full forward
+        # pass; k_p = 0 anchors are the raw inputs themselves.
+        anchors = (
+            inputs
+            if spec.layer == 0
+            else self.layer_activations(inputs, spec.layer)
+        )
+        entry = collect_bound_arrays(
+            self.network, inputs, layer_index, spec, anchors=anchors
+        )
+        # The entry is handed out by reference to every bound monitor;
+        # freezing it turns an accidental in-place edit (which would poison
+        # the cache for all sharers) into an immediate error.
+        for array in entry:
+            array.setflags(write=False)
+        self._bound_entries[key] = entry
+        if len(self._bound_entries) > self.max_entries:
+            self._bound_entries.popitem(last=False)
+        return entry
+
     def clear(self) -> None:
         self._entries.clear()
+        self._bound_entries.clear()
 
 
 @dataclass
@@ -119,6 +182,12 @@ class BatchScoringEngine:
     def layer_features(self, inputs: np.ndarray, layer_index: int) -> np.ndarray:
         """Cached full-layer activations for ``inputs``."""
         return self.cache.layer_activations(inputs, layer_index)
+
+    def bound_arrays(
+        self, inputs: np.ndarray, layer_index: int, spec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached batched perturbation estimates (see :meth:`ActivationCache.bound_arrays`)."""
+        return self.cache.bound_arrays(inputs, layer_index, spec)
 
     def _shares_network(self, monitor) -> bool:
         return getattr(monitor, "network", None) is self.network and hasattr(

@@ -95,7 +95,10 @@ class PackedMatcher:
         """Mirror a batch of per-position code-range words."""
         low_codes = np.atleast_2d(np.asarray(low_codes, dtype=np.int64))
         high_codes = np.atleast_2d(np.asarray(high_codes, dtype=np.int64))
-        if low_codes.shape != high_codes.shape or low_codes.shape[1] != self.word_codec.num_positions:
+        if (
+            low_codes.shape != high_codes.shape
+            or low_codes.shape[1] != self.word_codec.num_positions
+        ):
             raise ShapeError("code-range matrices do not match the codec layout")
         point = np.all(low_codes == high_codes, axis=1)
         if np.any(point):

@@ -5,13 +5,24 @@ the perturbation estimate of Definition 1: axis-aligned boxes (interval bound
 propagation), zonotopes and star sets, together with a unified
 :func:`~repro.symbolic.propagation.propagate_bounds` /
 :func:`~repro.symbolic.propagation.perturbation_bounds` API.
+
+Every back-end also has a batched form carrying a leading batch axis
+(:class:`~repro.symbolic.batched.BatchedBox`,
+:class:`~repro.symbolic.batched.BatchedZonotope`, and the chunked star walk)
+behind :func:`~repro.symbolic.propagation.propagate_bounds_batch` /
+:func:`~repro.symbolic.propagation.perturbation_bounds_batch` — the code
+path robust monitor fits use to estimate whole training sets in one
+propagation.
 """
 
+from .batched import BatchedBox, BatchedZonotope
 from .interval import Box
 from .propagation import (
     PROPAGATION_METHODS,
     perturbation_bounds,
+    perturbation_bounds_batch,
     propagate_bounds,
+    propagate_bounds_batch,
     propagate_box,
     propagate_star,
     propagate_zonotope,
@@ -22,13 +33,17 @@ from .zonotope import Zonotope
 
 __all__ = [
     "Box",
+    "BatchedBox",
+    "BatchedZonotope",
     "Zonotope",
     "StarSet",
     "PROPAGATION_METHODS",
     "propagate_bounds",
+    "propagate_bounds_batch",
     "propagate_box",
     "propagate_zonotope",
     "propagate_star",
     "perturbation_bounds",
+    "perturbation_bounds_batch",
     "propagation_backends",
 ]

@@ -10,11 +10,26 @@ dimension.
 Three back-ends are provided, matching the three techniques cited by the
 paper: ``"box"`` (interval bound propagation [3]), ``"zonotope"`` [4] and
 ``"star"`` [5].  All three are sound; they differ only in tightness and cost.
+
+Two API levels are offered:
+
+* single-sample — :func:`propagate_bounds` / :func:`perturbation_bounds`
+  take one :class:`~repro.symbolic.interval.Box` / input vector;
+* batched — :func:`propagate_bounds_batch` / :func:`perturbation_bounds_batch`
+  take ``(N, d)`` bound/input matrices and push the whole batch through the
+  abstract transformers at once (see :mod:`repro.symbolic.batched`).  The
+  box and zonotope back-ends vectorise fully; the star back-end solves LPs
+  over per-row polytopes, so its symbolic walk stays per-row behind the same
+  batched interface, with one shared concrete anchor pass.
+
+The batched level is what robust monitor construction uses
+(:func:`repro.monitors.perturbation.collect_bound_arrays`); row ``i`` of a
+batched result agrees with the single-sample result of row ``i``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, Tuple
 
 import numpy as np
 
@@ -22,6 +37,7 @@ from ..exceptions import ConfigurationError, LayerIndexError, PropagationError
 from ..nn.activations import ReLU
 from ..nn.layers import ActivationLayer, Dense, Dropout, Flatten, Scale
 from ..nn.network import Sequential
+from .batched import BatchedBox, BatchedZonotope
 from .interval import Box
 from .star import StarSet
 from .zonotope import Zonotope
@@ -32,10 +48,19 @@ __all__ = [
     "propagate_zonotope",
     "propagate_star",
     "propagate_bounds",
+    "propagate_bounds_batch",
     "perturbation_bounds",
+    "perturbation_bounds_batch",
+    "propagation_backends",
 ]
 
 PROPAGATION_METHODS = ("box", "zonotope", "star")
+
+#: Element budget for one batched-zonotope generator tensor.  The batch is
+#: split so that ``rows_per_chunk * num_symbols * dimension`` stays under
+#: this (~64 MB of float64), bounding peak memory on wide input layers where
+#: a whole training set at once would allocate O(N·d²) dense generators.
+ZONOTOPE_CHUNK_ELEMENTS = 8_000_000
 
 
 def _check_slice(network: Sequential, from_layer: int, to_layer: int) -> None:
@@ -106,6 +131,161 @@ def propagate_star(
     return _propagate_geometric(network, StarSet.from_box(box), from_layer, to_layer)
 
 
+def _check_method(method: str) -> None:
+    """Validate a back-end name with an actionable error message.
+
+    Raises :class:`~repro.exceptions.ConfigurationError` (a ``ValueError``)
+    listing the valid :func:`propagation_backends` keys, so a typo like
+    ``"zontope"`` fails with the available choices instead of a bare lookup
+    error deep inside the dispatch.
+    """
+    if method not in PROPAGATION_METHODS:
+        valid = ", ".join(sorted(propagation_backends()))
+        raise ConfigurationError(
+            f"unknown propagation method '{method}'; valid backends are: {valid}"
+        )
+
+
+def _propagate_zonotope_batch_walk(
+    network: Sequential,
+    batched_box: BatchedBox,
+    from_layer: int,
+    to_layer: int,
+) -> BatchedZonotope:
+    """Batched layer walk of the zonotope back-end (mirrors the single walk)."""
+    abstract = BatchedZonotope.from_batched_box(batched_box)
+    for layer in network.layers[from_layer:to_layer]:
+        if isinstance(layer, Dense):
+            abstract = abstract.affine(layer.weights, layer.bias)
+        elif isinstance(layer, ActivationLayer):
+            if isinstance(layer.activation, ReLU):
+                abstract = abstract.relu()
+            else:
+                abstract = abstract.elementwise_monotone(
+                    layer.activation.bound_transform
+                )
+        elif isinstance(layer, (Dropout, Flatten)):
+            continue
+        elif isinstance(layer, Scale):
+            abstract = abstract.scale_shift(layer.scale, layer.shift)
+        else:
+            raise PropagationError(
+                f"layer type {type(layer).__name__} has no geometric propagation rule"
+            )
+    return abstract
+
+
+def _zonotope_rows_per_chunk(network: Sequential, from_layer: int, to_layer: int) -> int:
+    """Rows per chunk keeping one generator tensor under the element budget.
+
+    The symbol count grows along the walk: the input embedding contributes up
+    to ``d_in`` symbols and every ReLU layer up to its width, so the peak
+    per-row tensor is about ``total_symbols * widest_layer`` elements.
+    """
+    input_dim = network.layer_output_dim(from_layer)
+    total_symbols = input_dim
+    widest = input_dim
+    for index in range(from_layer, to_layer):
+        width = network.layer_output_dim(index + 1)
+        widest = max(widest, width)
+        layer = network.layers[index]
+        if isinstance(layer, ActivationLayer) and isinstance(layer.activation, ReLU):
+            total_symbols += width
+    per_row = max(1, total_symbols * widest)
+    return max(1, ZONOTOPE_CHUNK_ELEMENTS // per_row)
+
+
+def _propagate_zonotope_batch(
+    network: Sequential,
+    batched_box: BatchedBox,
+    from_layer: int,
+    to_layer: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Zonotope bounds for a batch of boxes, memory-bounded via row chunks.
+
+    Rows are independent, so chunking changes peak memory only — row ``i`` of
+    the result is the same (up to generator-slot layout, which bound sums are
+    insensitive to) whatever the chunk size.
+    """
+    batch = batched_box.batch_size
+    rows = _zonotope_rows_per_chunk(network, from_layer, to_layer)
+    if rows >= batch:
+        return _propagate_zonotope_batch_walk(
+            network, batched_box, from_layer, to_layer
+        ).bounds()
+    out_dim = network.layer_output_dim(to_layer)
+    lows = np.empty((batch, out_dim))
+    highs = np.empty((batch, out_dim))
+    for start in range(0, batch, rows):
+        stop = min(start + rows, batch)
+        chunk = BatchedBox(batched_box.lows[start:stop], batched_box.highs[start:stop])
+        lows[start:stop], highs[start:stop] = _propagate_zonotope_batch_walk(
+            network, chunk, from_layer, to_layer
+        ).bounds()
+    return lows, highs
+
+
+def _propagate_star_rows(
+    network: Sequential,
+    batched_box: BatchedBox,
+    from_layer: int,
+    to_layer: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Star back-end over a batch of boxes, walked one row at a time.
+
+    Star bounds are LP queries over per-row predicate polytopes, so the
+    symbolic walk cannot share work across rows; only one star set is alive
+    at a time and each row's bounds are written straight into preallocated
+    ``(N, d)`` output matrices.  Callers still get the same batched interface
+    (and batched concrete anchor pass) as the box and zonotope back-ends.
+    """
+    batch = batched_box.batch_size
+    out_dim = network.layer_output_dim(to_layer)
+    lows = np.empty((batch, out_dim))
+    highs = np.empty((batch, out_dim))
+    for index in range(batch):
+        low, high = batched_box.row(index)
+        star = _propagate_geometric(
+            network, StarSet.from_box(Box(low, high)), from_layer, to_layer
+        )
+        lows[index], highs[index] = star.bounds()
+    return lows, highs
+
+
+def propagate_bounds_batch(
+    network: Sequential,
+    lows: np.ndarray,
+    highs: np.ndarray,
+    from_layer: int,
+    to_layer: int,
+    method: str = "box",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sound per-neuron bounds at ``to_layer`` for a whole batch of boxes.
+
+    ``lows`` / ``highs`` are ``(N, d)`` matrices describing one input box per
+    row; the result is the ``(N, d_k)`` pair of bound matrices whose row ``i``
+    is the axis-aligned hull of propagating box ``i`` with the chosen
+    back-end — identical (box) or tolerance-close (zonotope, star) to the
+    single-sample :func:`propagate_bounds` of that row.
+    """
+    _check_method(method)
+    _check_slice(network, from_layer, to_layer)
+    batched_box = BatchedBox(lows, highs)
+    expected = network.layer_output_dim(from_layer)
+    if batched_box.dimension != expected:
+        raise ConfigurationError(
+            f"batched bounds have dimension {batched_box.dimension}, layer "
+            f"{from_layer} produces {expected}"
+        )
+    if method == "box":
+        return network.propagate_box_batch(
+            batched_box.lows, batched_box.highs, from_layer, to_layer
+        )
+    if method == "zonotope":
+        return _propagate_zonotope_batch(network, batched_box, from_layer, to_layer)
+    return _propagate_star_rows(network, batched_box, from_layer, to_layer)
+
+
 def propagate_bounds(
     network: Sequential,
     box: Box,
@@ -118,11 +298,7 @@ def propagate_bounds(
     Returns the axis-aligned bounding box of the chosen abstraction; the
     result is always a sound over-approximation regardless of the back-end.
     """
-    if method not in PROPAGATION_METHODS:
-        raise ConfigurationError(
-            f"unknown propagation method '{method}'; choose one of "
-            f"{PROPAGATION_METHODS}"
-        )
+    _check_method(method)
     if method == "box":
         return propagate_box(network, box, from_layer, to_layer)
     if method == "zonotope":
@@ -162,6 +338,56 @@ def perturbation_bounds(
         return Box.from_point(value)
     return propagate_bounds(
         network, box, perturbation_layer, monitored_layer, method=method
+    )
+
+
+def perturbation_bounds_batch(
+    network: Sequential,
+    inputs: np.ndarray,
+    monitored_layer: int,
+    perturbation_layer: int = 0,
+    delta: float = 0.0,
+    method: str = "box",
+    anchors: "np.ndarray | None" = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Batched Definition-1 perturbation estimates: one row per input.
+
+    The anchor feature vectors at ``perturbation_layer`` are computed with a
+    single batched forward pass (or taken from ``anchors``, e.g. an engine
+    activation cache — this is what lets a sweep over ``delta`` values pay
+    for the concrete pass once), a box of radius ``delta`` is placed around
+    every row, and the whole batch of boxes is propagated soundly to
+    ``monitored_layer``.  Returns ``(lows, highs)`` matrices of shape
+    ``(N, d_k)``; with ``delta = 0`` both equal the concrete features.
+    """
+    _check_method(method)
+    if delta < 0:
+        raise ConfigurationError("perturbation bound delta must be non-negative")
+    if not 0 <= perturbation_layer < monitored_layer:
+        raise ConfigurationError(
+            "perturbation layer must satisfy 0 <= k_p < k (monitored layer)"
+        )
+    inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+    if anchors is None:
+        anchors = network.forward_to(perturbation_layer, inputs)
+    anchors = np.atleast_2d(np.asarray(anchors, dtype=np.float64))
+    if anchors.shape[0] != inputs.shape[0]:
+        raise ConfigurationError(
+            f"anchors have {anchors.shape[0]} rows for {inputs.shape[0]} inputs"
+        )
+    if delta == 0.0:
+        # Point propagation: evaluate concretely, avoiding any relaxation.
+        values = np.atleast_2d(
+            network.forward_from_to(perturbation_layer + 1, monitored_layer, anchors)
+        )
+        return values, np.array(values, copy=True)
+    return propagate_bounds_batch(
+        network,
+        anchors - delta,
+        anchors + delta,
+        perturbation_layer,
+        monitored_layer,
+        method=method,
     )
 
 

@@ -171,12 +171,18 @@ class Zonotope:
         norms = np.abs(self.generators).sum(axis=1)
         order = np.argsort(norms)
         keep = max(max_generators - self.dimension, 0)
-        kept_rows = self.generators[order[self.num_generators - keep :]] if keep else np.zeros((0, self.dimension))
+        if keep:
+            kept_rows = self.generators[order[self.num_generators - keep :]]
+        else:
+            kept_rows = np.zeros((0, self.dimension))
         merged_rows = self.generators[order[: self.num_generators - keep]]
         box_radius = np.abs(merged_rows).sum(axis=0)
         box_generators = np.diag(box_radius)
         box_generators = box_generators[box_radius > 0]
-        new_generators = np.vstack([kept_rows, box_generators]) if box_generators.size else kept_rows
+        if box_generators.size:
+            new_generators = np.vstack([kept_rows, box_generators])
+        else:
+            new_generators = kept_rows
         return Zonotope(self.center, new_generators)
 
     # ------------------------------------------------------------------

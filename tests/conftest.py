@@ -10,7 +10,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data.datasets import Dataset
 from repro.data.synthetic_digits import generate_digits
 from repro.data.track import TrackConfig, generate_track_dataset
 from repro.nn.layers import ActivationLayer, Dense

@@ -1,6 +1,5 @@
 """Tests for end-to-end monitoring pipelines and reference workloads."""
 
-import numpy as np
 import pytest
 
 from repro.core.pipeline import (
@@ -12,7 +11,7 @@ from repro.core.pipeline import (
 )
 from repro.exceptions import ConfigurationError
 from repro.monitors.perturbation import PerturbationSpec
-from repro.nn.layers import ActivationLayer, Dense
+from repro.nn.layers import Dense
 from repro.nn.network import Sequential, mlp
 
 

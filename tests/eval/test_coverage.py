@@ -113,5 +113,7 @@ class TestMonitorabilityReport:
         assert report.monitorability == 0.0
 
     def test_discriminative_abstraction_scores_high(self):
-        report = MonitorabilityReport(coverage=0.001, saturation=0.1, pattern_count=50, bdd_nodes=100)
+        report = MonitorabilityReport(
+            coverage=0.001, saturation=0.1, pattern_count=50, bdd_nodes=100
+        )
         assert report.monitorability > 0.85

@@ -9,12 +9,11 @@ out-of-ODD scenarios, and the Lemma 1 guarantee holds end to end.
 import numpy as np
 import pytest
 
-# Heaviest tier of the test suite: full workload builds with robust-monitor
-# constructions.  Excluded from the default `-m "not slow"` run; select with
-# `pytest -m slow` (CI runs them in the scheduled job).
-pytestmark = pytest.mark.slow
-
-from repro.core.pipeline import build_digits_workload, build_track_workload, default_monitored_layer
+from repro.core.pipeline import (
+    build_digits_workload,
+    build_track_workload,
+    default_monitored_layer,
+)
 from repro.data.perturbations import perturb_dataset_inputs
 from repro.data.synthetic_digits import generate_novel_glyphs
 from repro.eval.experiments import MonitorExperiment
@@ -22,6 +21,11 @@ from repro.monitors.boolean import BooleanPatternMonitor, RobustBooleanPatternMo
 from repro.monitors.builder import ClassConditionalMonitor, MonitorBuilder
 from repro.monitors.minmax import MinMaxMonitor, RobustMinMaxMonitor
 from repro.monitors.perturbation import PerturbationSpec
+
+# Heaviest tier of the test suite: full workload builds with robust-monitor
+# constructions.  Excluded from the default `-m "not slow"` run; select with
+# `pytest -m slow` (CI runs them in the scheduled job).
+pytestmark = pytest.mark.slow
 
 DELTA = 0.005
 

@@ -14,7 +14,11 @@ from repro.monitors.perturbation import PerturbationSpec
 class TestMonitorBuilder:
     @pytest.mark.parametrize(
         "family, expected_class",
-        [("minmax", MinMaxMonitor), ("boolean", BooleanPatternMonitor), ("interval", IntervalPatternMonitor)],
+        [
+            ("minmax", MinMaxMonitor),
+            ("boolean", BooleanPatternMonitor),
+            ("interval", IntervalPatternMonitor),
+        ],
     )
     def test_standard_families(self, family, expected_class, tiny_network):
         monitor = MonitorBuilder(family, 4).build(tiny_network)

@@ -1,7 +1,5 @@
 """Tests for interval-code encodings, including the paper's Figure 1 table."""
 
-import itertools
-
 import numpy as np
 import pytest
 from hypothesis import given, settings

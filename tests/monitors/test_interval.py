@@ -6,7 +6,6 @@ import pytest
 from repro.exceptions import ConfigurationError, ShapeError
 from repro.monitors.interval import IntervalPatternMonitor, RobustIntervalPatternMonitor
 from repro.monitors.perturbation import PerturbationSpec
-from repro.monitors.thresholds import range_extension_thresholds
 
 
 class TestStandardInterval:

@@ -122,7 +122,8 @@ class TestConfiguration:
             ELU(alpha=0.0)
 
     @pytest.mark.parametrize(
-        "name", ["identity", "relu", "leaky_relu", "sigmoid", "tanh", "softplus", "hard_tanh", "elu"]
+        "name",
+        ["identity", "relu", "leaky_relu", "sigmoid", "tanh", "softplus", "hard_tanh", "elu"],
     )
     def test_registry_lookup(self, name):
         assert get_activation(name).name in (name, "identity")

@@ -28,7 +28,9 @@ def build(layer, input_dim, rng):
 class TestDense:
     def test_forward_matches_manual_affine(self, rng):
         layer = build(Dense(3), 2, rng)
-        layer.set_weights([np.array([[1.0, 0.0, 2.0], [0.5, -1.0, 1.0]]), np.array([0.1, 0.2, 0.3])])
+        layer.set_weights(
+            [np.array([[1.0, 0.0, 2.0], [0.5, -1.0, 1.0]]), np.array([0.1, 0.2, 0.3])]
+        )
         x = np.array([[2.0, 4.0]])
         expected = x @ layer.weights + layer.bias
         np.testing.assert_allclose(layer.forward(x), expected)

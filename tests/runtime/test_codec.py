@@ -116,4 +116,7 @@ class TestTernaryPlanes:
 
     def test_planes_shape_validation(self):
         with pytest.raises(ShapeError):
-            TernaryPlanes(values=np.zeros((2, 1), dtype=np.uint64), masks=np.zeros((3, 1), dtype=np.uint64))
+            TernaryPlanes(
+                values=np.zeros((2, 1), dtype=np.uint64),
+                masks=np.zeros((3, 1), dtype=np.uint64),
+            )

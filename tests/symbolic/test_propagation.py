@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ConfigurationError, LayerIndexError
-from repro.nn.network import mlp
 from repro.symbolic.interval import Box
 from repro.symbolic.propagation import (
     PROPAGATION_METHODS,
@@ -68,6 +67,18 @@ class TestPropagateBounds:
         box = Box.from_point(tiny_inputs[0])
         with pytest.raises(ConfigurationError):
             propagate_bounds(tiny_network, box, 0, 2, method="octagon")
+
+    def test_unknown_method_is_a_value_error_listing_backends(
+        self, tiny_network, tiny_inputs
+    ):
+        """An unknown back-end must fail as a ValueError naming the choices."""
+        box = Box.from_point(tiny_inputs[0])
+        with pytest.raises(ValueError) as excinfo:
+            propagate_bounds(tiny_network, box, 0, 2, method="octagon")
+        message = str(excinfo.value)
+        assert "octagon" in message
+        for backend in propagation_backends():
+            assert backend in message
 
     def test_invalid_slice_rejected(self, tiny_network, tiny_inputs):
         box = Box.from_point(tiny_inputs[0])
