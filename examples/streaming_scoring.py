@@ -1,0 +1,85 @@
+"""Online monitoring with the streaming micro-batch scoring service.
+
+The paper's monitors run *next to* the deployed network, flagging abnormal
+activation patterns frame by frame.  This example shows the serving story:
+
+1. build the race-track workload and fit a standard + robust monitor pair
+   via the pipeline's :meth:`~repro.core.pipeline.MonitorPipeline.serve`
+   entry point, which returns a *running* streaming scorer;
+2. stream a mixed sensor feed (nominal frames with a burst of dark scenes
+   in the middle) frame by frame and act on each verdict as it resolves;
+3. compare micro-batched service throughput against the frame-at-a-time
+   deployment loop, and print the service's latency/batching report.
+
+Run with:  python examples/streaming_scoring.py
+"""
+
+import numpy as np
+
+from repro import MonitorPipeline, PerturbationSpec, build_track_workload
+from repro.data import dark_scenario
+from repro.eval import format_service_report, measure_streaming_throughput
+from repro.service import BatchPolicy
+
+DELTA = 0.002
+
+
+def main() -> None:
+    print("Training the track workload and fitting standard + robust monitors...")
+    workload = build_track_workload(num_samples=240, epochs=8, seed=42)
+    pipeline = MonitorPipeline(
+        workload,
+        family="minmax",
+        perturbation=PerturbationSpec(delta=DELTA, layer=0, method="box"),
+    )
+
+    # A sensor feed: nominal frames with a dark-scene burst in the middle.
+    nominal = workload.in_odd_eval.inputs
+    dark = dark_scenario(workload.in_odd_eval, seed=1).inputs
+    feed = np.vstack([nominal[:30], dark[:20], nominal[30:60]])
+
+    # ------------------------------------------------------------------
+    # 1. Frame-by-frame streaming with per-frame futures.
+    # ------------------------------------------------------------------
+    with pipeline.serve(max_batch=16, max_latency=0.005) as scorer:
+        futures = [scorer.submit(frame) for frame in feed]
+        warned_frames = []
+        for index, future in enumerate(futures):
+            result = future.result(timeout=30)
+            if result.warns["robust"]:
+                warned_frames.append(index)
+        print(
+            f"\nStreamed {len(feed)} frames; the robust monitor warned on "
+            f"{len(warned_frames)} (first warnings at indices "
+            f"{warned_frames[:5]}; the dark burst spans 30..49)."
+        )
+        print()
+        print(format_service_report(scorer.stats.snapshot()))
+
+    # ------------------------------------------------------------------
+    # 2. Micro-batching vs frame-at-a-time throughput.
+    # ------------------------------------------------------------------
+    import time
+
+    monitor = pipeline.robust_builder.build_and_fit(
+        workload.network, workload.train.inputs
+    )
+    replay = np.tile(feed, (4, 1))
+    start = time.perf_counter()
+    for frame in replay:
+        monitor.warn(frame)
+    loop_time = time.perf_counter() - start
+
+    with pipeline.serve(policy=BatchPolicy(max_batch=32, max_latency=0.002)) as scorer:
+        throughput = measure_streaming_throughput(scorer, replay, burst_size=32)
+    print(
+        f"\nThroughput over {replay.shape[0]} frames: "
+        f"frame-at-a-time {replay.shape[0] / loop_time:.0f} frames/s, "
+        f"micro-batched {throughput['frames_per_second']:.0f} frames/s "
+        f"({loop_time / throughput['wall_time_s']:.1f}x; the service scores "
+        "both registered monitors per frame, the loop only one)."
+    )
+
+
+if __name__ == "__main__":
+    main()

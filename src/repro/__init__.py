@@ -19,6 +19,9 @@ of Neuron Activation Patterns" (DATE 2021).  The library provides:
   out-of-ODD scenario transforms replacing the paper's lab setup;
 * :mod:`repro.eval` — false-positive / detection-rate metrics, experiment
   runners and parameter sweeps;
+* :mod:`repro.service` — the streaming scoring service: frames submitted
+  one at a time are coalesced into micro-batches and scored through one
+  shared engine pass across every registered monitor;
 * :mod:`repro.core` — end-to-end pipelines and reference workloads.
 
 Quickstart
@@ -66,6 +69,7 @@ from .monitors import (
 )
 from .nn import Sequential, mlp
 from .runtime import BatchScoringEngine, PatternCodec
+from .service import BatchPolicy, StreamingScorer
 from .symbolic import Box, StarSet, Zonotope, perturbation_bounds, propagate_bounds
 
 __version__ = "1.0.0"
@@ -105,6 +109,9 @@ __all__ = [
     # runtime
     "PatternCodec",
     "BatchScoringEngine",
+    # service
+    "BatchPolicy",
+    "StreamingScorer",
     # pipelines
     "DEFAULT_PERTURBATION",
     "MonitoringWorkload",

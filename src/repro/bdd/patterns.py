@@ -30,7 +30,7 @@ queries fall back to the BDD for unresolved rows.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,6 +74,9 @@ class PatternSet:
         self._mirror_complete = True
         self._root = FALSE
         self._insertions = 0
+        # Packed-state image awaiting replay into the BDD (lazy cold start;
+        # see from_packed_state).  None once materialised.
+        self._deferred_state: Optional[Dict[str, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # bit-index bookkeeping
@@ -127,11 +130,121 @@ class PatternSet:
         return words
 
     # ------------------------------------------------------------------
+    # packed-state persistence (fast cold start)
+    # ------------------------------------------------------------------
+    @property
+    def bdd_materialised(self) -> bool:
+        """False while a packed-state restore has not been replayed yet."""
+        return self._deferred_state is None
+
+    def packed_state(self) -> Dict[str, np.ndarray]:
+        """Flat-array image of the set, suitable for ``.npz`` persistence.
+
+        The image is the packed mirror's structures (exact rows, ternary
+        value/mask planes, code ranges) — a complete description of the set
+        whenever the mirror is exact, and far more compact than the word
+        enumeration for ternary/range entries (no don't-care or Cartesian
+        expansion).  Restore with :meth:`from_packed_state`.
+        """
+        if not self._mirror_complete:
+            raise ConfigurationError(
+                "the packed mirror is not exact for this set (a non-contiguous "
+                "code set was inserted); packed-state export is unavailable"
+            )
+        if self._deferred_state is not None:
+            # Never materialised since restore: the image is the state itself.
+            return {key: value.copy() for key, value in self._deferred_state.items()}
+        return self._matcher.export_state()
+
+    @classmethod
+    def from_packed_state(
+        cls,
+        num_positions: int,
+        bits_per_position: int,
+        state: Dict[str, np.ndarray],
+        insertions: Optional[int] = None,
+    ) -> "PatternSet":
+        """Rebuild a set from :meth:`packed_state` with a *lazy* BDD.
+
+        The packed mirror — which answers every batched membership query —
+        is restored directly from the flat arrays, so the set can score
+        operational batches immediately.  The canonical BDD is only built
+        (replayed from the same arrays) on first use of a BDD-dependent
+        operation: model counting, Hamming relaxation, word iteration or
+        further insertions.  Cold-starting a deployed monitor therefore
+        pays array I/O instead of one BDD build.
+        """
+        obj = cls(num_positions, bits_per_position=bits_per_position)
+        exact = np.ascontiguousarray(state["exact"], dtype=np.uint64)
+        values = np.ascontiguousarray(state["ternary_values"], dtype=np.uint64)
+        masks = np.ascontiguousarray(state["ternary_masks"], dtype=np.uint64)
+        range_low = np.asarray(state["range_low"], dtype=np.int64)
+        range_high = np.asarray(state["range_high"], dtype=np.int64)
+        if values.shape != masks.shape or range_low.shape != range_high.shape:
+            raise ConfigurationError("packed state arrays are inconsistent")
+        if exact.shape[0]:
+            obj._matcher.add_exact_packed(exact)
+        if values.shape[0]:
+            obj._matcher.add_ternary(TernaryPlanes(values=values, masks=masks))
+        if range_low.shape[0]:
+            obj._matcher.add_code_ranges(range_low, range_high)
+        total_rows = int(exact.shape[0] + values.shape[0] + range_low.shape[0])
+        if total_rows:
+            obj._deferred_state = {
+                "exact": exact,
+                "ternary_values": values,
+                "ternary_masks": masks,
+                "range_low": range_low,
+                "range_high": range_high,
+            }
+        obj._insertions = int(insertions) if insertions is not None else total_rows
+        return obj
+
+    def _ensure_bdd(self) -> None:
+        """Replay a deferred packed-state image into the canonical BDD."""
+        if self._deferred_state is None:
+            return
+        state, self._deferred_state = self._deferred_state, None
+        parts: List[int] = []
+        exact = state["exact"]
+        if exact.shape[0]:
+            bit_rows = unpack_bool_matrix(exact, self.num_bits)
+            parts.append(
+                self.manager.disjoin_balanced(
+                    [self.manager.from_assignment(list(row)) for row in bit_rows]
+                )
+            )
+        values, masks = state["ternary_values"], state["ternary_masks"]
+        if values.shape[0]:
+            value_bits = unpack_bool_matrix(values, self.num_bits)
+            mask_bits = unpack_bool_matrix(masks, self.num_bits)
+            cubes = []
+            for value_row, mask_row in zip(value_bits, mask_bits):
+                literals = {
+                    int(index): bool(value_row[index])
+                    for index in np.nonzero(mask_row)[0]
+                }
+                cubes.append(self.manager.cube(literals))
+            parts.append(self.manager.disjoin_balanced(cubes))
+        range_low, range_high = state["range_low"], state["range_high"]
+        if range_low.shape[0]:
+            row_bdds = [
+                self._range_row_bdd(
+                    [int(code) for code in low_row], [int(code) for code in high_row]
+                )
+                for low_row, high_row in zip(range_low, range_high)
+            ]
+            parts.append(self.manager.disjoin_balanced(row_bdds))
+        for part in parts:
+            self._root = self.manager.apply_or(self._root, part)
+
+    # ------------------------------------------------------------------
     # insertion
     # ------------------------------------------------------------------
     @property
     def root(self) -> int:
         """BDD root of the current set (exposed for advanced composition)."""
+        self._ensure_bdd()
         return self._root
 
     @property
@@ -153,6 +266,7 @@ class PatternSet:
 
     def add_word(self, word: Sequence[int]) -> None:
         """Insert a fully specified word (one integer code per position)."""
+        self._ensure_bdd()
         assignment = self._word_to_assignment(word)
         cube = self.manager.from_assignment(assignment)
         self._root = self.manager.apply_or(self._root, cube)
@@ -175,6 +289,7 @@ class PatternSet:
         words = self._validate_code_matrix(words)
         if words.shape[0] == 0:
             return
+        self._ensure_bdd()
         packed = self.codec.pack_codes(words)
         unique = np.unique(packed, axis=0)
         bit_rows = unpack_bool_matrix(unique, self.num_bits)
@@ -213,6 +328,7 @@ class PatternSet:
             mask_words[position >> 6] |= 1 << (position & 63)
             if value:
                 value_words[position >> 6] |= 1 << (position & 63)
+        self._ensure_bdd()
         cube = self.manager.cube(literals)
         self._root = self.manager.apply_or(self._root, cube)
         if len(literals) == self.num_positions:
@@ -238,6 +354,7 @@ class PatternSet:
             raise ConfigurationError(
                 "ternary planes do not match this pattern set's word width"
             )
+        self._ensure_bdd()
         value_bits = unpack_bool_matrix(planes.values, self.num_bits)
         mask_bits = unpack_bool_matrix(planes.masks, self.num_bits)
         cubes = []
@@ -287,6 +404,7 @@ class PatternSet:
             high = np.array([[codes[-1] for codes in normalised]], dtype=np.int64)
             self.add_range_patterns(low, high)
             return
+        self._ensure_bdd()
         self._insert_code_sets_bdd(normalised)
         self._mirror_complete = False
         self._insertions += 1
@@ -306,6 +424,7 @@ class PatternSet:
             raise ConfigurationError("code range lower end exceeds upper end")
         if low_codes.shape[0] == 0:
             return
+        self._ensure_bdd()
         row_bdds = []
         for low_row, high_row in zip(low_codes, high_codes):
             row_bdds.append(
@@ -362,7 +481,9 @@ class PatternSet:
             or other.bits_per_position != self.bits_per_position
         ):
             raise ConfigurationError("pattern sets have incompatible shapes")
+        self._ensure_bdd()
         if other.manager is self.manager:
+            other._ensure_bdd()
             self._root = self.manager.apply_or(self._root, other._root)
             self._matcher.merge(other._matcher)
             self._mirror_complete = self._mirror_complete and other._mirror_complete
@@ -377,6 +498,7 @@ class PatternSet:
     # ------------------------------------------------------------------
     def contains(self, word: Sequence[int]) -> bool:
         """True when the fully specified ``word`` belongs to the set."""
+        self._ensure_bdd()
         assignment = self._word_to_assignment(word)
         return self.manager.evaluate(self._root, assignment)
 
@@ -410,6 +532,7 @@ class PatternSet:
         """
         if distance < 0:
             raise ConfigurationError("Hamming distance must be non-negative")
+        self._ensure_bdd()
         if self.contains(word):
             return True
         if distance == 0:
@@ -433,17 +556,21 @@ class PatternSet:
 
     def cardinality(self) -> int:
         """Number of fully specified words in the set."""
+        self._ensure_bdd()
         return self.manager.count_solutions_exact(self._root)
 
     def dag_size(self) -> int:
         """Number of BDD nodes used to represent the set."""
+        self._ensure_bdd()
         return self.manager.dag_size(self._root)
 
     def is_empty(self) -> bool:
-        return self._root == FALSE
+        # A deferred packed state is only kept when it holds at least one row.
+        return self._deferred_state is None and self._root == FALSE
 
     def iterate_words(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
         """Yield the fully specified words of the set as code tuples."""
+        self._ensure_bdd()
         for model in self.manager.iterate_models(self._root, limit=limit):
             word = []
             for position in range(self.num_positions):

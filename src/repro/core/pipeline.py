@@ -151,6 +151,54 @@ class MonitorPipeline:
             {"standard": self.standard_builder, "robust": self.robust_builder}
         )
 
+    def serve(
+        self,
+        policy=None,
+        want_verdicts: bool = False,
+        **policy_options,
+    ):
+        """Fit the pipeline's monitors and return a *started* streaming scorer.
+
+        This is the online counterpart of :meth:`run`: the standard and
+        robust monitors are fitted on the workload's training set (sharing
+        one engine's forward pass and symbolic propagation during the fit)
+        and registered — under the names ``"standard"`` and ``"robust"`` —
+        on a :class:`~repro.service.StreamingScorer` whose worker thread is
+        already running.  The caller streams frames via ``submit`` /
+        ``submit_many`` and should ``close()`` the scorer (or use it as a
+        context manager) when done.
+
+        ``policy`` is a :class:`~repro.service.BatchPolicy`; alternatively
+        pass its fields (``max_batch=...``, ``max_latency=...``,
+        ``max_pending=...``) as keyword arguments.
+        """
+        from ..runtime.engine import BatchScoringEngine
+        from ..service import BatchPolicy, StreamingScorer
+
+        if policy is not None and policy_options:
+            raise ConfigurationError(
+                "pass either a BatchPolicy or its fields as keywords, not both"
+            )
+        if policy is None:
+            policy = BatchPolicy(**policy_options)
+        network = self.workload.network
+        fit_engine = BatchScoringEngine(network)
+        standard = self.standard_builder.build_and_fit(
+            network, self.workload.train.inputs, engine=fit_engine
+        )
+        robust = self.robust_builder.build_and_fit(
+            network, self.workload.train.inputs, engine=fit_engine
+        )
+        # Fit-time scratch (training-set activations/bounds) is useless for
+        # serving; start the service with an empty cache.
+        fit_engine.cache.clear()
+        scorer = StreamingScorer(
+            network, policy=policy, engine=fit_engine, want_verdicts=want_verdicts
+        )
+        scorer.register("standard", standard)
+        scorer.register("robust", robust)
+        return scorer.start()
+
     def describe(self) -> Dict[str, object]:
         return {
             "workload": self.workload.name,

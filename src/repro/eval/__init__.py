@@ -18,6 +18,7 @@ from .metrics import (
     score_monitor,
 )
 from .reporting import format_rate, format_results_table, format_table
+from .service_report import format_service_report, measure_streaming_throughput
 from .sweep import bit_width_sweep, delta_sweep, layer_sweep, method_sweep
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "format_table",
     "format_rate",
     "format_results_table",
+    "format_service_report",
+    "measure_streaming_throughput",
     "delta_sweep",
     "method_sweep",
     "bit_width_sweep",

@@ -1,0 +1,97 @@
+"""Throughput / latency reporting for the streaming service path.
+
+The offline metrics in this package answer "how well does the monitor
+detect?"; this module answers the serving question — "how fast, and at what
+tail latency, does the deployed scorer run?".  It formats the statistics
+snapshot of a :class:`~repro.service.streaming.StreamingScorer` into the
+same table style as the experiment reports, and offers a small measurement
+harness that replays a frame set through a scorer to obtain
+wall-clock-grounded throughput numbers (used by the streaming benchmark and
+the example script).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .reporting import format_table
+
+__all__ = ["format_service_report", "measure_streaming_throughput"]
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_service_report(
+    snapshot: Mapping[str, object], title: Optional[str] = None
+) -> str:
+    """Render a :meth:`ServiceStats.snapshot` as a readable table."""
+    reasons = snapshot.get("flush_reasons", {})
+    rows = [
+        ["frames submitted", snapshot.get("frames_submitted", 0)],
+        ["frames scored", snapshot.get("frames_scored", 0)],
+        ["frames failed", snapshot.get("frames_failed", 0)],
+        ["frames cancelled", snapshot.get("frames_cancelled", 0)],
+        ["micro-batches", snapshot.get("batches", 0)],
+        ["mean batch size", f"{snapshot.get('mean_batch_size', 0.0):.1f}"],
+        ["max batch size", snapshot.get("max_batch_size", 0)],
+        [
+            "flushes (size / deadline / drain)",
+            f"{reasons.get('size', 0)} / {reasons.get('deadline', 0)} / "
+            f"{reasons.get('drain', 0)}",
+        ],
+    ]
+    for key, label in (
+        ("latency_mean_s", "latency mean"),
+        ("latency_p50_s", "latency p50"),
+        ("latency_p95_s", "latency p95"),
+        ("latency_max_s", "latency max"),
+    ):
+        if key in snapshot:
+            rows.append([label, _format_seconds(float(snapshot[key]))])
+    return format_table(
+        ["metric", "value"], rows, title=title or "Streaming service report"
+    )
+
+
+def measure_streaming_throughput(
+    scorer,
+    frames: np.ndarray,
+    burst_size: int = 0,
+) -> Dict[str, float]:
+    """Replay ``frames`` through a running scorer and measure throughput.
+
+    ``burst_size`` controls how many frames each :meth:`submit_many` call
+    carries (``0`` submits the whole set as one burst; ``1`` degenerates to
+    per-frame :meth:`submit` traffic).  Blocks until every future resolved;
+    returns wall time, frames/second and the mean wall time *per frame*
+    (inverse throughput — for true submit-to-resolve latency percentiles
+    read ``scorer.stats.snapshot()``).
+    """
+    frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+    if frames.shape[0] == 0:
+        raise ConfigurationError("throughput measurement needs at least one frame")
+    if burst_size < 0:
+        raise ConfigurationError("burst_size must be non-negative")
+    burst = frames.shape[0] if burst_size == 0 else int(burst_size)
+    futures = []
+    start = time.perf_counter()
+    for begin in range(0, frames.shape[0], burst):
+        futures.extend(scorer.submit_many(frames[begin : begin + burst]))
+    results = [future.result() for future in futures]
+    elapsed = time.perf_counter() - start
+    return {
+        "frames": float(len(results)),
+        "wall_time_s": elapsed,
+        "frames_per_second": len(results) / elapsed if elapsed > 0 else float("inf"),
+        "mean_seconds_per_frame": elapsed / len(results),
+    }

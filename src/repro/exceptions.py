@@ -47,3 +47,16 @@ class SerializationError(ReproError):
 
 class DataError(ReproError):
     """Raised when a dataset is malformed or a generator is misconfigured."""
+
+
+class ServiceClosedError(ReproError):
+    """Raised when a frame is submitted to a closed streaming scorer."""
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised when a streaming scorer's pending queue is at capacity.
+
+    Producers hitting this should shed load or retry after a backoff; the
+    queue bound exists so that a stalled scoring thread surfaces as an error
+    at the submission site instead of as unbounded memory growth.
+    """

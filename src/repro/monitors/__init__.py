@@ -35,6 +35,7 @@ from .interval import IntervalPatternMonitor, RobustIntervalPatternMonitor
 from .minmax import MinMaxMonitor, RobustMinMaxMonitor
 from .perturbation import PerturbationSpec, perturbation_estimate, perturbation_estimates
 from .quantitative import EnvelopeDistanceMonitor, PatternDistanceMonitor
+from .registry import MonitorRegistry
 from .serialization import load_monitor, save_monitor
 from .thresholds import (
     equal_width_thresholds,
@@ -59,6 +60,7 @@ __all__ = [
     "MonitorBuilder",
     "ClassConditionalMonitor",
     "MonitorEnsemble",
+    "MonitorRegistry",
     "MONITOR_FAMILIES",
     "PerturbationSpec",
     "EnvelopeDistanceMonitor",

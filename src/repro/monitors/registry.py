@@ -1,0 +1,150 @@
+"""Registration surface for hosting several monitors over one network.
+
+A serving deployment typically runs a *set* of monitors next to one frozen
+network — a standard and a robust variant, an ensemble across layers, a
+class-conditional dispatcher — and needs to add or retire members without
+restarting the scorer.  :class:`MonitorRegistry` is that surface: a named,
+validated, thread-safe collection of scoreable monitors over one host
+network.
+
+Validation happens at registration time, where a configuration mistake is
+cheap to report, instead of at scoring time, where it would fail a whole
+micro-batch of in-flight frames:
+
+* every member must already be fitted (a serving registry never sees
+  training data);
+* every member must expose the batched API contract (``warn_batch``);
+* a member built on a *different* network than the host is legal — the
+  scoring engine falls back to the member's own forward pass — but must be
+  declared with ``allow_foreign=True`` so that a mixed-network deployment
+  is an explicit decision, not a silent performance bug;
+* names are unique, non-empty strings.
+
+The registry hands out immutable snapshots (:meth:`snapshot`) so a scoring
+thread iterates a consistent member set even while another thread registers
+or unregisters monitors mid-stream.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from ..exceptions import ConfigurationError, NotFittedError
+from ..nn.network import Sequential
+
+__all__ = ["MonitorRegistry"]
+
+
+class MonitorRegistry:
+    """Named, validated collection of fitted monitors over a host network."""
+
+    def __init__(self, network: Sequential) -> None:
+        self.network = network
+        self._lock = threading.Lock()
+        self._monitors: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_scoreable(name: str, monitor: object) -> None:
+        if not isinstance(name, str) or not name:
+            raise ConfigurationError("monitor name must be a non-empty string")
+        if not callable(getattr(monitor, "warn_batch", None)):
+            raise ConfigurationError(
+                f"monitor '{name}' does not implement the batched API "
+                "(warn_batch); wrap it or use an ActivationMonitor subclass"
+            )
+        fitted = getattr(monitor, "is_fitted", None)
+        if fitted is None:
+            raise ConfigurationError(
+                f"monitor '{name}' does not report is_fitted; only fitted "
+                "monitors can be registered for serving"
+            )
+        if not fitted:
+            raise NotFittedError(
+                f"monitor '{name}' must be fitted before registration"
+            )
+
+    def register(
+        self, name: str, monitor: object, allow_foreign: bool = False
+    ) -> None:
+        """Add a fitted monitor under ``name``.
+
+        ``allow_foreign`` acknowledges that ``monitor`` is built on a
+        different network than the registry's host and will therefore pay
+        its own forward passes instead of sharing the host's cached ones.
+        """
+        self._validate_scoreable(name, monitor)
+        member_network = getattr(monitor, "network", None)
+        if (
+            member_network is not None
+            and member_network is not self.network
+            and not allow_foreign
+        ):
+            raise ConfigurationError(
+                f"monitor '{name}' is built on a different network than the "
+                "registry's host; pass allow_foreign=True to register it "
+                "anyway (it will not share the host's cached forward passes)"
+            )
+        with self._lock:
+            if name in self._monitors:
+                raise ConfigurationError(
+                    f"a monitor named '{name}' is already registered"
+                )
+            self._monitors[name] = monitor
+
+    def unregister(self, name: str) -> object:
+        """Remove and return the monitor registered under ``name``."""
+        with self._lock:
+            try:
+                return self._monitors.pop(name)
+            except KeyError as exc:
+                raise ConfigurationError(
+                    f"no monitor named '{name}' is registered"
+                ) from exc
+
+    def get(self, name: str) -> Optional[object]:
+        with self._lock:
+            return self._monitors.get(name)
+
+    def snapshot(self) -> Mapping[str, object]:
+        """Immutable point-in-time view of the registered monitors.
+
+        The returned mapping is safe to iterate from a scoring thread while
+        other threads mutate the registry; it reflects the membership at
+        call time.
+        """
+        with self._lock:
+            return dict(self._monitors)
+
+    def names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._monitors)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._monitors)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._monitors
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def describe(self) -> Dict[str, object]:
+        snapshot = self.snapshot()
+        return {
+            "num_monitors": len(snapshot),
+            "monitors": {
+                name: (
+                    monitor.describe()
+                    if callable(getattr(monitor, "describe", None))
+                    else type(monitor).__name__
+                )
+                for name, monitor in snapshot.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MonitorRegistry(names={list(self.names())})"

@@ -7,9 +7,19 @@ holding a JSON header (monitor family, layer, thresholds/cut-points,
 perturbation model) plus the abstraction state:
 
 * min-max monitors store the ``(lower, upper)`` envelope;
-* Boolean/interval pattern monitors store the explicit list of stored words
-  (obtained from the BDD), which is re-inserted on load — exact for the
-  pattern sets that arise in practice, and independent of BDD internals.
+* Boolean/interval pattern monitors store the *packed mirror* of their
+  pattern set (format 2, the default): the exact bit-packed rows, ternary
+  value/mask bit-planes and per-position code ranges of
+  :class:`~repro.runtime.matcher.PackedMatcher`.  This is a complete
+  description of the stored set with no don't-care or Cartesian-product
+  expansion, and on load it restores the vectorised scoring path directly —
+  the canonical BDD is rebuilt lazily only if a BDD-dependent operation
+  (model counting, Hamming relaxation) is actually used, so cold-starting a
+  deployed monitor costs array I/O instead of a BDD build.
+
+Archives written by earlier versions (format 1, an explicit word list
+re-inserted on load) remain loadable; ``save_monitor(format=1)`` still
+writes them for tooling that expects enumerated words.
 
 The network itself is serialised separately (``repro.nn.serialization``); on
 load the caller passes the network so that weights are never duplicated.
@@ -23,7 +33,7 @@ from typing import Union
 
 import numpy as np
 
-from ..exceptions import NotFittedError, SerializationError
+from ..exceptions import ConfigurationError, NotFittedError, SerializationError
 from ..nn.network import Sequential
 from .base import ActivationMonitor
 from .boolean import BooleanPatternMonitor, RobustBooleanPatternMonitor
@@ -55,10 +65,50 @@ def _perturbation_from_dict(data: dict) -> PerturbationSpec:
     )
 
 
-def save_monitor(monitor: ActivationMonitor, path: Union[str, Path]) -> Path:
-    """Serialise a fitted monitor to ``path`` (``.npz`` appended when missing)."""
+#: Array names of the packed-mirror image (format 2 pattern monitors).
+_PACKED_KEYS = {
+    "exact": "packed_exact",
+    "ternary_values": "packed_ternary_values",
+    "ternary_masks": "packed_ternary_masks",
+    "range_low": "packed_range_low",
+    "range_high": "packed_range_high",
+}
+
+
+def _pattern_arrays(monitor, arrays: dict, header: dict, fmt: int) -> None:
+    """Add the pattern-set image of a fitted pattern monitor to ``arrays``."""
+    if fmt == 2:
+        try:
+            state = monitor.patterns.packed_state()
+        except ConfigurationError:
+            # Mirror not exact (only reachable through manual add_code_sets
+            # use): fall back to the enumerated-words format.
+            fmt = 1
+        else:
+            header["format"] = 2
+            header["insertions"] = monitor.patterns.insertions
+            for state_key, array_key in _PACKED_KEYS.items():
+                arrays[array_key] = state[state_key]
+            return
+    header["format"] = 1
+    arrays["words"] = np.array(
+        list(monitor.patterns.iterate_words()), dtype=np.int64
+    ).reshape(-1, monitor.num_monitored_neurons)
+
+
+def save_monitor(
+    monitor: ActivationMonitor, path: Union[str, Path], format: int = 2
+) -> Path:
+    """Serialise a fitted monitor to ``path`` (``.npz`` appended when missing).
+
+    ``format=2`` (default) stores pattern sets as their packed-mirror image
+    for compact artefacts and lazy-BDD cold starts; ``format=1`` stores the
+    enumerated word list of earlier versions.
+    """
     if not monitor.is_fitted:
         raise NotFittedError("only fitted monitors can be serialised")
+    if format not in (1, 2):
+        raise SerializationError(f"unknown serialisation format {format}")
     class_name = type(monitor).__name__
     if class_name not in _CLASS_NAMES:
         raise SerializationError(f"unsupported monitor class {class_name}")
@@ -79,15 +129,11 @@ def save_monitor(monitor: ActivationMonitor, path: Union[str, Path]) -> Path:
         header["enlargement"] = monitor.enlargement
     if isinstance(monitor, BooleanPatternMonitor):
         arrays["thresholds"] = monitor.thresholds
-        arrays["words"] = np.array(list(monitor.patterns.iterate_words()), dtype=np.int64).reshape(
-            -1, monitor.num_monitored_neurons
-        )
+        _pattern_arrays(monitor, arrays, header, format)
         header["hamming_tolerance"] = monitor.hamming_tolerance
     if isinstance(monitor, IntervalPatternMonitor):
         arrays["cut_points"] = monitor.cut_points
-        arrays["words"] = np.array(list(monitor.patterns.iterate_words()), dtype=np.int64).reshape(
-            -1, monitor.num_monitored_neurons
-        )
+        _pattern_arrays(monitor, arrays, header, format)
         header["num_cuts"] = monitor.num_cuts
         header["cut_strategy"] = monitor.cut_strategy
     if isinstance(
@@ -102,6 +148,33 @@ def save_monitor(monitor: ActivationMonitor, path: Union[str, Path]) -> Path:
     except OSError as exc:  # pragma: no cover - filesystem failure
         raise SerializationError(f"failed to write monitor to {path}: {exc}") from exc
     return path
+
+
+def _restore_patterns(archive, header: dict, num_positions: int, bits_per_position: int):
+    """Rebuild a monitor's pattern set from a loaded archive.
+
+    Format-2 archives restore the packed mirror directly (the BDD is
+    materialised lazily on first BDD-dependent use); format-1 archives
+    re-insert the enumerated word list.
+    """
+    from ..bdd.patterns import PatternSet
+
+    if int(header.get("format", 1)) == 2:
+        state = {
+            state_key: archive[array_key]
+            for state_key, array_key in _PACKED_KEYS.items()
+        }
+        return PatternSet.from_packed_state(
+            num_positions,
+            bits_per_position,
+            state,
+            insertions=header.get("insertions"),
+        )
+    patterns = PatternSet(num_positions, bits_per_position=bits_per_position)
+    words = archive["words"]
+    if words.shape[0]:
+        patterns.add_patterns(words)
+    return patterns
 
 
 def load_monitor(path: Union[str, Path], network: Sequential) -> ActivationMonitor:
@@ -164,12 +237,9 @@ def load_monitor(path: Union[str, Path], network: Sequential) -> ActivationMonit
                 hamming_tolerance=int(header.get("hamming_tolerance", 0)),
             )
         monitor.thresholds = archive["thresholds"]
-        from ..bdd.patterns import PatternSet
-
-        monitor.patterns = PatternSet(len(neuron_indices), bits_per_position=1)
-        words = archive["words"]
-        if words.shape[0]:
-            monitor.patterns.add_patterns(words)
+        monitor.patterns = _restore_patterns(
+            archive, header, len(neuron_indices), bits_per_position=1
+        )
     else:  # interval families
         cut_points = archive["cut_points"]
         if class_name == "IntervalPatternMonitor":
@@ -192,14 +262,9 @@ def load_monitor(path: Union[str, Path], network: Sequential) -> ActivationMonit
                 neuron_indices=neuron_indices,
             )
         monitor.cut_points = cut_points
-        from ..bdd.patterns import PatternSet
-
-        monitor.patterns = PatternSet(
-            len(neuron_indices), bits_per_position=monitor.bits_per_neuron
+        monitor.patterns = _restore_patterns(
+            archive, header, len(neuron_indices), bits_per_position=monitor.bits_per_neuron
         )
-        words = archive["words"]
-        if words.shape[0]:
-            monitor.patterns.add_patterns(words)
 
     monitor._fitted = True
     monitor._num_training_samples = int(header.get("num_training_samples", 0))

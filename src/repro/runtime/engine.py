@@ -18,6 +18,7 @@ bit-identical to calling ``monitor.warn_batch`` directly.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
@@ -56,6 +57,13 @@ class ActivationCache:
     model on the same training set pays for one propagation, and a sweep
     over ``Δ`` values reuses the cached layer-``k_p`` anchor activations
     (the concrete half of every propagation) across all deltas.
+
+    Both LRU levels are guarded by one reentrant lock, so a cache (and the
+    engine wrapping it) may be shared between a streaming scorer's worker
+    thread and any number of submitting/evaluating threads.  Lookups that
+    miss compute the forward pass (or propagation) while holding the lock:
+    concurrent requests for the *same* batch then cost one pass total, which
+    on the serving path matters more than letting distinct batches overlap.
     """
 
     def __init__(self, network: Sequential, max_entries: int = 16) -> None:
@@ -63,6 +71,7 @@ class ActivationCache:
             raise ConfigurationError("max_entries must be at least 1")
         self.network = network
         self.max_entries = int(max_entries)
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple, List[np.ndarray]]" = OrderedDict()
         self._bound_entries: "OrderedDict[Tuple, Tuple[np.ndarray, np.ndarray]]" = (
             OrderedDict()
@@ -79,20 +88,31 @@ class ActivationCache:
             hasher.update(np.ascontiguousarray(weight).tobytes())
         return hasher.digest()
 
+    def activation_entry(self, inputs: np.ndarray) -> List[np.ndarray]:
+        """Cached per-layer activations of ``inputs`` for *every* layer.
+
+        One lookup serves any number of monitors on any layers of the batch:
+        the content/weights key is hashed once per batch, not once per
+        monitor (hashing a wide batch costs more than slicing its entry).
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
+        with self._lock:
+            key = _fingerprint(inputs) + (self._weights_digest(),)
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                entry = self.network.activations(inputs)
+                self._entries[key] = entry
+                if len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+            else:
+                self.hits += 1
+                self._entries.move_to_end(key)
+            return entry
+
     def layer_activations(self, inputs: np.ndarray, layer_index: int) -> np.ndarray:
         """Activations of ``layer_index`` for ``inputs`` (batched, cached)."""
-        inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        key = _fingerprint(inputs) + (self._weights_digest(),)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            entry = self.network.activations(inputs)
-            self._entries[key] = entry
-            if len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-        else:
-            self.hits += 1
-            self._entries.move_to_end(key)
+        entry = self.activation_entry(inputs)
         if not 1 <= layer_index <= len(entry):
             raise ConfigurationError(
                 f"layer index {layer_index} outside [1, {len(entry)}]"
@@ -114,41 +134,55 @@ class ActivationCache:
         from ..monitors.perturbation import collect_bound_arrays
 
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
-        key = (
-            _fingerprint(inputs)
-            + (self._weights_digest(),)
-            + ("bounds", int(layer_index))
-            + spec.cache_key
-        )
-        entry = self._bound_entries.get(key)
-        if entry is not None:
-            self.bound_hits += 1
-            self._bound_entries.move_to_end(key)
+        with self._lock:
+            key = (
+                _fingerprint(inputs)
+                + (self._weights_digest(),)
+                + ("bounds", int(layer_index))
+                + spec.cache_key
+            )
+            entry = self._bound_entries.get(key)
+            if entry is not None:
+                self.bound_hits += 1
+                self._bound_entries.move_to_end(key)
+                return entry
+            self.bound_misses += 1
+            # The layer_activations level computes (or replays) the full
+            # forward pass; k_p = 0 anchors are the raw inputs themselves.
+            anchors = (
+                inputs
+                if spec.layer == 0
+                else self.layer_activations(inputs, spec.layer)
+            )
+            entry = collect_bound_arrays(
+                self.network, inputs, layer_index, spec, anchors=anchors
+            )
+            # The entry is handed out by reference to every bound monitor;
+            # freezing it turns an accidental in-place edit (which would
+            # poison the cache for all sharers) into an immediate error.
+            for array in entry:
+                array.setflags(write=False)
+            self._bound_entries[key] = entry
+            if len(self._bound_entries) > self.max_entries:
+                self._bound_entries.popitem(last=False)
             return entry
-        self.bound_misses += 1
-        # The layer_activations level computes (or replays) the full forward
-        # pass; k_p = 0 anchors are the raw inputs themselves.
-        anchors = (
-            inputs
-            if spec.layer == 0
-            else self.layer_activations(inputs, spec.layer)
-        )
-        entry = collect_bound_arrays(
-            self.network, inputs, layer_index, spec, anchors=anchors
-        )
-        # The entry is handed out by reference to every bound monitor;
-        # freezing it turns an accidental in-place edit (which would poison
-        # the cache for all sharers) into an immediate error.
-        for array in entry:
-            array.setflags(write=False)
-        self._bound_entries[key] = entry
-        if len(self._bound_entries) > self.max_entries:
-            self._bound_entries.popitem(last=False)
-        return entry
+
+    @property
+    def num_entries(self) -> int:
+        """Current number of cached activation entries (thread-safe)."""
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def num_bound_entries(self) -> int:
+        """Current number of cached bound-matrix entries (thread-safe)."""
+        with self._lock:
+            return len(self._bound_entries)
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._bound_entries.clear()
+        with self._lock:
+            self._entries.clear()
+            self._bound_entries.clear()
 
 
 @dataclass
@@ -199,13 +233,46 @@ class BatchScoringEngine:
         monitors: Mapping[str, object],
         inputs: np.ndarray,
         want_verdicts: bool = False,
+        use_cache: bool = True,
     ) -> BatchScore:
-        """Warning vectors (and optionally full verdicts) for every monitor."""
+        """Warning vectors (and optionally full verdicts) for every monitor.
+
+        The batch's per-layer activations are computed (or fetched) *once*
+        and sliced per monitor, however many monitors share the network.
+        ``use_cache=False`` skips the activation cache entirely — the same
+        sequential layer walk, but without fingerprinting the batch or
+        inserting an entry.  That is the right trade for one-shot batches
+        that will never be re-scored (e.g. streaming micro-batches, each of
+        which is fresh content): hashing a wide batch costs more than the
+        small forward passes it would deduplicate.
+        """
         inputs = np.atleast_2d(np.asarray(inputs, dtype=np.float64))
         score = BatchScore(verdicts={} if want_verdicts else None)
+        if inputs.shape[0] == 0:
+            # A 0-frame batch costs nothing: no forward pass, no cache entry,
+            # one empty vector per monitor.  (Width-0 rows are *not* short-
+            # circuited — they must fail the forward pass like any other
+            # malformed batch.)
+            for name in monitors:
+                score.warns[name] = np.zeros(0, dtype=bool)
+                if want_verdicts:
+                    score.verdicts[name] = []
+            return score
+        entry: Optional[List[np.ndarray]] = None
         for name, monitor in monitors.items():
             if self._shares_network(monitor):
-                activations = self.layer_features(inputs, monitor.layer_index)
+                if entry is None:
+                    entry = (
+                        self.cache.activation_entry(inputs)
+                        if use_cache
+                        else self.network.activations(inputs)
+                    )
+                if not 1 <= monitor.layer_index <= len(entry):
+                    raise ConfigurationError(
+                        f"layer index {monitor.layer_index} outside "
+                        f"[1, {len(entry)}]"
+                    )
+                activations = entry[monitor.layer_index - 1]
                 if want_verdicts:
                     verdicts = monitor.verdict_batch_from_layer(activations)
                     score.verdicts[name] = verdicts

@@ -20,7 +20,7 @@ membership (a property the test suite pins down).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -107,6 +107,47 @@ class PackedMatcher:
             self._range_low.extend(low_codes[~point])
             self._range_high.extend(high_codes[~point])
             self._range_stacked = None
+
+    def export_state(self) -> Dict[str, np.ndarray]:
+        """Flat-array image of every mirrored entry (for persistence).
+
+        Returns little-endian ``uint64`` matrices for the exact rows and
+        ternary value/mask planes, and ``int64`` matrices for the code
+        ranges — exactly the structures :meth:`add_exact_packed` /
+        :meth:`add_ternary` / :meth:`add_code_ranges` accept, so a matcher
+        (and through it a whole pattern set) can be rebuilt without
+        re-deriving anything.  Exact rows are sorted for a deterministic
+        image, and every returned array is a copy: mutating the exported
+        state can never corrupt the live matcher.
+        """
+        num_words = self.word_codec.num_words
+        if self._exact_rows:
+            exact = np.frombuffer(
+                b"".join(sorted(self._exact_rows)), dtype="<u8"
+            ).reshape(-1, num_words)
+        else:
+            exact = np.zeros((0, num_words), dtype="<u8")
+        ternary = self._ternary_arrays()
+        if ternary is not None:
+            values = ternary.values.astype("<u8", copy=True)
+            masks = ternary.masks.astype("<u8", copy=True)
+        else:
+            values = np.zeros((0, num_words), dtype="<u8")
+            masks = np.zeros((0, num_words), dtype="<u8")
+        ranges = self._range_arrays()
+        if ranges is not None:
+            range_low = np.array(ranges[0], dtype=np.int64)
+            range_high = np.array(ranges[1], dtype=np.int64)
+        else:
+            range_low = np.zeros((0, self.word_codec.num_positions), dtype=np.int64)
+            range_high = np.zeros((0, self.word_codec.num_positions), dtype=np.int64)
+        return {
+            "exact": exact,
+            "ternary_values": values,
+            "ternary_masks": masks,
+            "range_low": range_low,
+            "range_high": range_high,
+        }
 
     def merge(self, other: "PackedMatcher") -> None:
         """Fold another matcher's entries into this one (set union)."""

@@ -68,9 +68,24 @@ class TestBatchScoringEngine:
         score = engine.score_batch({"minmax": minmax, "boolean": boolean}, probes)
         np.testing.assert_array_equal(score.warns["minmax"], minmax.warn_batch(probes))
         np.testing.assert_array_equal(score.warns["boolean"], boolean.warn_batch(probes))
-        # Two monitors on the same layer share one forward pass.
+        # Two monitors on the same layer share one forward pass — and since
+        # the whole-entry refactor, one cache lookup per batch.
+        assert engine.cache.misses == 1
+        assert engine.cache.hits == 0
+        # Re-scoring the same batch replays the cached pass.
+        engine.score_batch({"minmax": minmax, "boolean": boolean}, probes)
         assert engine.cache.misses == 1
         assert engine.cache.hits == 1
+
+    def test_uncached_scoring_is_identical_and_leaves_no_entry(
+        self, tiny_network, tiny_inputs, rng
+    ):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network)
+        probes = rng.uniform(-2.0, 2.0, size=(16, 6))
+        uncached = engine.score_batch({"m": minmax}, probes, use_cache=False)
+        np.testing.assert_array_equal(uncached.warns["m"], minmax.warn_batch(probes))
+        assert engine.cache.misses == 0 and engine.cache.num_entries == 0
 
     def test_engine_verdicts(self, tiny_network, tiny_inputs, rng):
         minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
@@ -102,3 +117,79 @@ class TestBatchScoringEngine:
         assert score.warning_rate("m") == pytest.approx(
             float(np.mean(minmax.warn_batch(tiny_inputs)))
         )
+
+
+class TestScoreBatchEdgeCases:
+    def test_empty_batch_returns_empty_vectors(self, tiny_network, tiny_inputs):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network)
+        score = engine.score_batch({"m": minmax}, np.zeros((0, 6)))
+        assert score.warns["m"].shape == (0,)
+        assert score.warns["m"].dtype == bool
+        # No forward pass, no cache traffic for an empty batch.
+        assert engine.cache.misses == 0 and engine.cache.hits == 0
+        assert engine.cache.num_entries == 0
+
+    def test_width_zero_rows_still_fail_the_forward_pass(
+        self, tiny_network, tiny_inputs
+    ):
+        """(N, 0) is a malformed batch, not an empty one: it must raise."""
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network)
+        with pytest.raises(Exception):
+            engine.score_batch({"m": minmax}, np.zeros((5, 0)))
+
+    def test_empty_batch_with_verdicts(self, tiny_network, tiny_inputs):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network)
+        score = engine.score_batch({"m": minmax}, np.zeros((0, 6)), want_verdicts=True)
+        assert score.verdicts["m"] == []
+        with pytest.raises(ConfigurationError):
+            score.warning_rate("m")
+
+    def test_single_frame_batch(self, tiny_network, tiny_inputs, rng):
+        minmax = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network)
+        frame = rng.uniform(-2.0, 2.0, size=6)
+        score = engine.score_batch({"m": minmax}, frame)
+        assert score.warns["m"].shape == (1,)
+        assert score.warns["m"][0] == bool(minmax.warn_batch(frame[None, :])[0])
+
+    def test_foreign_network_monitor_misses_shared_path(self, tiny_inputs, rng):
+        """A monitor on another network must not read this engine's cache."""
+        from repro.nn.network import mlp
+
+        host = mlp(6, [10, 8], 3, activation="relu", seed=7)
+        other = mlp(6, [10, 8], 3, activation="relu", seed=41)
+        host_monitor = MinMaxMonitor(host, 4).fit(tiny_inputs)
+        foreign_monitor = MinMaxMonitor(other, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(host)
+        assert engine._shares_network(host_monitor)
+        assert not engine._shares_network(foreign_monitor)
+        probes = rng.uniform(-2.0, 2.0, size=(12, 6))
+        score = engine.score_batch(
+            {"host": host_monitor, "foreign": foreign_monitor}, probes
+        )
+        # Only the host monitor went through the shared cache...
+        assert engine.cache.misses == 1
+        # ...and the foreign monitor's answer is its own network's, which
+        # differs from the host's on some probe (different weights).
+        np.testing.assert_array_equal(
+            score.warns["foreign"], foreign_monitor.warn_batch(probes)
+        )
+        np.testing.assert_array_equal(
+            score.warns["host"], host_monitor.warn_batch(probes)
+        )
+
+    def test_duck_typed_monitor_without_layer_api(self, tiny_network, rng):
+        """Objects exposing only warn_batch score through the fallback path."""
+
+        class ConstantMonitor:
+            def warn_batch(self, inputs):
+                return np.ones(inputs.shape[0], dtype=bool)
+
+        engine = BatchScoringEngine(tiny_network)
+        probes = rng.uniform(-1.0, 1.0, size=(5, 6))
+        score = engine.score_batch({"const": ConstantMonitor()}, probes)
+        assert score.warns["const"].all()
+        assert engine.cache.misses == 0

@@ -1,0 +1,136 @@
+"""Concurrent-access stress tests for the activation/bound caches.
+
+Before the streaming service, :class:`ActivationCache` was only ever touched
+from one thread; now a scorer worker and any number of evaluating threads
+share it.  These tests hammer both LRU levels from many threads — with a
+capacity small enough to force continuous eviction churn — and assert that
+every returned array is bit-identical to the single-threaded answer, that no
+call raises, and that the hit/miss ledger balances exactly (which only holds
+when lookup + insert + evict are atomic).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.monitors.perturbation import PerturbationSpec, collect_bound_arrays
+from repro.runtime.engine import ActivationCache, BatchScoringEngine
+
+TIMEOUT = 60.0
+
+
+def _hammer(threads):
+    errors = []
+
+    def wrap(target):
+        def run():
+            try:
+                target()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        return run
+
+    workers = [threading.Thread(target=wrap(target)) for target in threads]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join(TIMEOUT)
+    assert not errors, f"worker raised: {errors[0]!r}"
+
+
+def _reference_activations(network, batches, layer_index):
+    return [network.forward_to(layer_index, batch) for batch in batches]
+
+
+class TestActivationCacheConcurrency:
+    def test_concurrent_layer_activations_quick(self, tiny_network, rng):
+        batches = [rng.random((6, 6)) for _ in range(6)]
+        reference = _reference_activations(tiny_network, batches, 2)
+        cache = ActivationCache(tiny_network, max_entries=4)  # forces eviction
+        iterations = 30
+
+        def worker(seed):
+            order = np.random.default_rng(seed)
+
+            def run():
+                for _ in range(iterations):
+                    index = int(order.integers(len(batches)))
+                    out = cache.layer_activations(batches[index], 2)
+                    np.testing.assert_array_equal(out, reference[index])
+
+            return run
+
+        num_threads = 4
+        _hammer([worker(seed) for seed in range(num_threads)])
+        assert cache.hits + cache.misses == num_threads * iterations
+        assert cache.num_entries <= cache.max_entries
+
+    @pytest.mark.slow
+    def test_concurrent_mixed_levels_stress(self, tiny_network, rng):
+        """Both LRU levels under heavy churn from eight threads."""
+        batches = [rng.random((5, 6)) for _ in range(10)]
+        specs = [
+            PerturbationSpec(delta=delta, layer=0, method="box")
+            for delta in (0.01, 0.05)
+        ]
+        layer = 4
+        act_reference = _reference_activations(tiny_network, batches, layer)
+        bound_reference = {
+            (index, spec.cache_key): collect_bound_arrays(
+                tiny_network, batches[index], layer, spec
+            )
+            for index in range(len(batches))
+            for spec in specs
+        }
+        cache = ActivationCache(tiny_network, max_entries=3)
+        iterations = 50
+
+        def worker(seed):
+            order = np.random.default_rng(seed)
+
+            def run():
+                for _ in range(iterations):
+                    index = int(order.integers(len(batches)))
+                    if order.integers(2):
+                        out = cache.layer_activations(batches[index], layer)
+                        np.testing.assert_array_equal(out, act_reference[index])
+                    else:
+                        spec = specs[int(order.integers(len(specs)))]
+                        lows, highs = cache.bound_arrays(batches[index], layer, spec)
+                        ref_lows, ref_highs = bound_reference[(index, spec.cache_key)]
+                        np.testing.assert_array_equal(lows, ref_lows)
+                        np.testing.assert_array_equal(highs, ref_highs)
+
+            return run
+
+        _hammer([worker(seed) for seed in range(8)])
+        assert cache.num_entries <= cache.max_entries
+        assert cache.num_bound_entries <= cache.max_entries
+        assert cache.bound_hits + cache.bound_misses > 0
+
+    @pytest.mark.slow
+    def test_engine_shared_across_scoring_threads(
+        self, tiny_network, tiny_inputs, rng
+    ):
+        """One engine serving score_batch from several threads stays correct."""
+        from repro.monitors.minmax import MinMaxMonitor
+
+        monitor = MinMaxMonitor(tiny_network, 4).fit(tiny_inputs)
+        engine = BatchScoringEngine(tiny_network, max_cache_entries=2)
+        batches = [rng.uniform(-2.0, 2.0, size=(8, 6)) for _ in range(6)]
+        reference = [monitor.warn_batch(batch) for batch in batches]
+
+        def worker(seed):
+            order = np.random.default_rng(seed)
+
+            def run():
+                for _ in range(40):
+                    index = int(order.integers(len(batches)))
+                    warns = engine.warn_batch(monitor, batches[index])
+                    np.testing.assert_array_equal(warns, reference[index])
+
+            return run
+
+        _hammer([worker(seed) for seed in range(6)])

@@ -1,0 +1,26 @@
+"""Shared fixtures for the streaming service tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitors.boolean import BooleanPatternMonitor
+from repro.monitors.minmax import MinMaxMonitor
+
+
+@pytest.fixture(scope="session")
+def fitted_monitors(tiny_network, tiny_inputs):
+    """Two fitted monitor families on the session's tiny network."""
+    return {
+        "minmax": MinMaxMonitor(tiny_network, 4).fit(tiny_inputs),
+        "boolean": BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(
+            tiny_inputs
+        ),
+    }
+
+
+@pytest.fixture
+def probe_frames(rng) -> np.ndarray:
+    """A batch of operational frames for the tiny network."""
+    return rng.uniform(-2.0, 2.0, size=(48, 6))

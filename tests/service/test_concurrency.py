@@ -1,0 +1,134 @@
+"""Multi-producer stress tests of the streaming scorer.
+
+Several producer threads interleave submissions while one worker coalesces
+and scores; the invariants are (a) every future resolves, (b) every resolved
+verdict equals the offline ``warn_batch`` answer for its frame, and (c) the
+stats ledger balances.  A quick variant runs in tier 1; the heavy variant is
+``slow`` (run in CI's slow tier).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.service import BatchPolicy, StreamingScorer
+
+TIMEOUT = 30.0
+
+
+def _producer(scorer, frames, out, index, rng_seed):
+    """Submit ``frames`` as a random mix of singles and bursts."""
+    rng = np.random.default_rng(rng_seed)
+    futures = []
+    cursor = 0
+    while cursor < frames.shape[0]:
+        burst = int(rng.integers(1, 9))
+        chunk = frames[cursor : cursor + burst]
+        cursor += chunk.shape[0]
+        if chunk.shape[0] == 1 and rng.integers(2):
+            futures.append(scorer.submit(chunk[0]))
+        else:
+            futures.extend(scorer.submit_many(chunk))
+    out[index] = futures
+
+
+def _run_stress(network, monitors, num_producers, frames_per_producer, rng):
+    frame_sets = [
+        rng.uniform(-2.0, 2.0, size=(frames_per_producer, 6))
+        for _ in range(num_producers)
+    ]
+    collected = [None] * num_producers
+    with StreamingScorer(
+        network, policy=BatchPolicy(max_batch=16, max_latency=0.001)
+    ) as scorer:
+        for name, monitor in monitors.items():
+            scorer.register(name, monitor)
+        threads = [
+            threading.Thread(
+                target=_producer, args=(scorer, frame_sets[i], collected, i, 1000 + i)
+            )
+            for i in range(num_producers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(TIMEOUT)
+        results = [
+            [future.result(timeout=TIMEOUT) for future in futures]
+            for futures in collected
+        ]
+        stats = scorer.stats.snapshot()
+
+    total = num_producers * frames_per_producer
+    assert stats["frames_submitted"] == total
+    assert stats["frames_scored"] == total
+    assert stats["frames_failed"] == 0
+    # Per-producer verdicts equal the offline batch answer for those frames.
+    for frames, producer_results in zip(frame_sets, results):
+        for name, monitor in monitors.items():
+            streamed = np.array([result.warns[name] for result in producer_results])
+            np.testing.assert_array_equal(streamed, monitor.warn_batch(frames))
+    return scorer, stats
+
+
+def test_multi_producer_quick(tiny_network, fitted_monitors, rng):
+    _run_stress(tiny_network, fitted_monitors, num_producers=4, frames_per_producer=32, rng=rng)
+
+
+@pytest.mark.slow
+def test_multi_producer_stress(tiny_network, fitted_monitors, rng):
+    scorer, stats = _run_stress(
+        tiny_network, fitted_monitors, num_producers=8, frames_per_producer=200, rng=rng
+    )
+    # The shared cache stayed within its configured bound under churn.
+    assert scorer.engine.cache.num_entries <= scorer.engine.cache.max_entries
+    assert stats["batches"] >= stats["frames_scored"] / 16
+
+
+@pytest.mark.slow
+def test_producers_racing_registration(tiny_network, fitted_monitors, rng):
+    """Registering/unregistering a monitor mid-stream never corrupts scoring.
+
+    Frames scored while the extra member happened to be registered carry its
+    verdict; all frames always carry the two stable members' verdicts.
+    """
+    from repro.monitors.minmax import MinMaxMonitor
+
+    extra = MinMaxMonitor(tiny_network, 2).fit(rng.uniform(-1.0, 1.0, size=(16, 6)))
+    frames = rng.uniform(-2.0, 2.0, size=(400, 6))
+    stop = threading.Event()
+
+    def churn():
+        registered = False
+        while not stop.is_set():
+            if registered:
+                scorer.unregister("extra")
+            else:
+                scorer.register("extra", extra)
+            registered = not registered
+            time.sleep(0.0005)
+
+    with StreamingScorer(
+        tiny_network, policy=BatchPolicy(max_batch=8, max_latency=0.0005)
+    ) as scorer:
+        for name, monitor in fitted_monitors.items():
+            scorer.register(name, monitor)
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            futures = [scorer.submit(frame) for frame in frames]
+            results = [future.result(timeout=TIMEOUT) for future in futures]
+        finally:
+            stop.set()
+            churner.join(TIMEOUT)
+    offline = {
+        name: monitor.warn_batch(frames) for name, monitor in fitted_monitors.items()
+    }
+    extra_offline = extra.warn_batch(frames)
+    for index, result in enumerate(results):
+        for name in fitted_monitors:
+            assert result.warns[name] == offline[name][index]
+        if "extra" in result.warns:
+            assert result.warns["extra"] == extra_offline[index]
