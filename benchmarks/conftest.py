@@ -73,6 +73,7 @@ class BenchRecorder:
 
     def __init__(self) -> None:
         self.timings: Dict[str, float] = {}
+        self.attributes: Dict[str, Dict[str, object]] = {}
 
     def _calibrate(self) -> None:
         if self.CALIBRATION_KEY in self.timings:
@@ -119,11 +120,23 @@ class BenchRecorder:
         self._calibrate()
         self.timings[name] = float(seconds)
 
+    def annotate(self, name: str, **attrs: object) -> None:
+        """Attach JSON-serialisable attributes to a recorded timing.
+
+        Used for context the gate should *see* but not compare — e.g. which
+        matcher back-end actually executed a timing (``compiled`` degrades
+        to ``numpy`` when numba is absent, and the entry must say so).
+        """
+        self.attributes.setdefault(name, {}).update(attrs)
+
     def summary(self) -> Dict[str, object]:
-        return {
+        summary: Dict[str, object] = {
             "quick": QUICK,
             "timings": dict(sorted(self.timings.items())),
         }
+        if self.attributes:
+            summary["attributes"] = dict(sorted(self.attributes.items()))
+        return summary
 
 
 _RECORDER = BenchRecorder()

@@ -58,9 +58,20 @@ class PatternSet:
     bits_per_position:
         Number of bits used to encode each position (1 for on/off monitors,
         2 or more for interval monitors).
+    matcher_backend:
+        Matcher-kernel back-end for :meth:`contains_batch` — a registry name
+        from :func:`repro.runtime.kernels.matcher_backends`, a ready kernel
+        instance, or ``None`` for the ``REPRO_MATCHER_BACKEND`` /
+        ``numpy`` default.  Only execution speed depends on it; every
+        back-end is bit-for-bit equivalent.
     """
 
-    def __init__(self, num_positions: int, bits_per_position: int = 1) -> None:
+    def __init__(
+        self,
+        num_positions: int,
+        bits_per_position: int = 1,
+        matcher_backend=None,
+    ) -> None:
         if num_positions <= 0:
             raise ConfigurationError("num_positions must be positive")
         if bits_per_position <= 0:
@@ -70,7 +81,7 @@ class PatternSet:
         self.num_bits = self.num_positions * self.bits_per_position
         self.manager = BDDManager(self.num_bits)
         self.codec = WordCodec(self.num_positions, self.bits_per_position)
-        self._matcher = PackedMatcher(self.codec)
+        self._matcher = PackedMatcher(self.codec, backend=matcher_backend)
         self._mirror_complete = True
         self._root = FALSE
         self._insertions = 0
@@ -156,6 +167,19 @@ class PatternSet:
             return {key: value.copy() for key, value in self._deferred_state.items()}
         return self._matcher.export_state()
 
+    def set_matcher_backend(self, backend) -> None:
+        """Re-bind batched membership to another matcher kernel back-end.
+
+        The stored patterns are untouched — only the execution engine of
+        :meth:`contains_batch` changes, so this is safe on a live set.
+        """
+        self._matcher.set_backend(backend)
+
+    @property
+    def matcher_backend(self) -> str:
+        """Registry name of the active matcher kernel."""
+        return self._matcher.backend_name
+
     @classmethod
     def from_packed_state(
         cls,
@@ -163,6 +187,7 @@ class PatternSet:
         bits_per_position: int,
         state: Dict[str, np.ndarray],
         insertions: Optional[int] = None,
+        matcher_backend=None,
     ) -> "PatternSet":
         """Rebuild a set from :meth:`packed_state` with a *lazy* BDD.
 
@@ -174,7 +199,11 @@ class PatternSet:
         further insertions.  Cold-starting a deployed monitor therefore
         pays array I/O instead of one BDD build.
         """
-        obj = cls(num_positions, bits_per_position=bits_per_position)
+        obj = cls(
+            num_positions,
+            bits_per_position=bits_per_position,
+            matcher_backend=matcher_backend,
+        )
         exact = np.ascontiguousarray(state["exact"], dtype=np.uint64)
         values = np.ascontiguousarray(state["ternary_values"], dtype=np.uint64)
         masks = np.ascontiguousarray(state["ternary_masks"], dtype=np.uint64)

@@ -114,6 +114,9 @@ class ActivationMonitor:
         self._fitted = False
         self._num_training_samples = 0
         self._engine = None
+        #: Matcher-kernel back-end choice for pattern-set membership (None
+        #: defers to a bound engine's suggestion, then the env/default).
+        self.matcher_backend = None
 
     # ------------------------------------------------------------------
     # shared plumbing
@@ -158,6 +161,33 @@ class ActivationMonitor:
                 "bind_engine needs an engine built on this monitor's network"
             )
         self._engine = engine
+        return self
+
+    def matcher_backend_choice(self):
+        """Effective matcher-kernel choice for pattern sets built by ``fit``.
+
+        The monitor's own ``matcher_backend`` wins; otherwise a bound
+        engine's ``matcher_backend`` applies; ``None`` defers to the
+        ``REPRO_MATCHER_BACKEND`` environment variable / ``numpy`` default
+        at dispatch time.
+        """
+        if self.matcher_backend is not None:
+            return self.matcher_backend
+        return getattr(self._engine, "matcher_backend", None)
+
+    def set_matcher_backend(self, backend) -> "ActivationMonitor":
+        """Select the matcher kernel for this monitor's pattern membership.
+
+        Takes effect immediately on an already-fitted pattern set (the
+        stored patterns are untouched — verdicts are bit-identical across
+        back-ends) and is remembered for subsequent refits.  Monitors
+        without a pattern set (min-max family) record the choice but have
+        no batched membership pass to re-bind.  Returns ``self``.
+        """
+        self.matcher_backend = backend
+        patterns = getattr(self, "patterns", None)
+        if patterns is not None and hasattr(patterns, "set_matcher_backend"):
+            patterns.set_matcher_backend(backend)
         return self
 
     def features(self, inputs: np.ndarray) -> np.ndarray:

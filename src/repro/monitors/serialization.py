@@ -150,12 +150,19 @@ def save_monitor(
     return path
 
 
-def _restore_patterns(archive, header: dict, num_positions: int, bits_per_position: int):
+def _restore_patterns(
+    archive,
+    header: dict,
+    num_positions: int,
+    bits_per_position: int,
+    matcher_backend=None,
+):
     """Rebuild a monitor's pattern set from a loaded archive.
 
     Format-2 archives restore the packed mirror directly (the BDD is
     materialised lazily on first BDD-dependent use); format-1 archives
-    re-insert the enumerated word list.
+    re-insert the enumerated word list.  ``matcher_backend`` selects the
+    matcher kernel of the restored set.
     """
     from ..bdd.patterns import PatternSet
 
@@ -169,16 +176,31 @@ def _restore_patterns(archive, header: dict, num_positions: int, bits_per_positi
             bits_per_position,
             state,
             insertions=header.get("insertions"),
+            matcher_backend=matcher_backend,
         )
-    patterns = PatternSet(num_positions, bits_per_position=bits_per_position)
+    patterns = PatternSet(
+        num_positions,
+        bits_per_position=bits_per_position,
+        matcher_backend=matcher_backend,
+    )
     words = archive["words"]
     if words.shape[0]:
         patterns.add_patterns(words)
     return patterns
 
 
-def load_monitor(path: Union[str, Path], network: Sequential) -> ActivationMonitor:
-    """Load a monitor saved by :func:`save_monitor`, re-attaching ``network``."""
+def load_monitor(
+    path: Union[str, Path], network: Sequential, matcher_backend=None
+) -> ActivationMonitor:
+    """Load a monitor saved by :func:`save_monitor`, re-attaching ``network``.
+
+    ``matcher_backend`` selects the matcher kernel of the restored pattern
+    set (a registry name from
+    :func:`repro.runtime.kernels.matcher_backends`, a kernel instance, or
+    ``None`` for the ``REPRO_MATCHER_BACKEND`` / ``numpy`` default) — the
+    on-disk format is backend-independent, so any archive loads under any
+    back-end with bit-identical verdicts.
+    """
     path = Path(path)
     if not path.exists():
         candidate = path.with_suffix(".npz")
@@ -237,8 +259,13 @@ def load_monitor(path: Union[str, Path], network: Sequential) -> ActivationMonit
                 hamming_tolerance=int(header.get("hamming_tolerance", 0)),
             )
         monitor.thresholds = archive["thresholds"]
+        monitor.matcher_backend = matcher_backend
         monitor.patterns = _restore_patterns(
-            archive, header, len(neuron_indices), bits_per_position=1
+            archive,
+            header,
+            len(neuron_indices),
+            bits_per_position=1,
+            matcher_backend=matcher_backend,
         )
     else:  # interval families
         cut_points = archive["cut_points"]
@@ -262,8 +289,13 @@ def load_monitor(path: Union[str, Path], network: Sequential) -> ActivationMonit
                 neuron_indices=neuron_indices,
             )
         monitor.cut_points = cut_points
+        monitor.matcher_backend = matcher_backend
         monitor.patterns = _restore_patterns(
-            archive, header, len(neuron_indices), bits_per_position=monitor.bits_per_neuron
+            archive,
+            header,
+            len(neuron_indices),
+            bits_per_position=monitor.bits_per_neuron,
+            matcher_backend=matcher_backend,
         )
 
     monitor._fitted = True

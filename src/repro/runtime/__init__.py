@@ -9,6 +9,10 @@ This package is the shared substrate under every monitor family:
   Δ-robust abstractions;
 * :mod:`repro.runtime.matcher` — TCAM-style vectorised set membership
   mirroring the canonical BDD representation;
+* :mod:`repro.runtime.kernels` — pluggable matcher execution back-ends
+  (``numpy`` reference, numba-``compiled`` fused pass, ``sharded``
+  thread-pool driver) behind a ``matcher_backends()`` registry, selected
+  per matcher or via ``REPRO_MATCHER_BACKEND``;
 * :mod:`repro.runtime.engine` — batched scoring with a per-layer activation
   cache so monitors sharing a network share forward passes.
 
@@ -21,11 +25,24 @@ single-sample answers agree by construction on any fixed workload.
 
 from .codec import PatternCodec, TernaryPlanes, WordCodec, default_tolerance
 from .engine import ActivationCache, BatchScore, BatchScoringEngine
+from .kernels import (
+    DEFAULT_MATCHER_BACKEND,
+    HAVE_NUMBA,
+    MATCHER_BACKEND_ENV,
+    MatcherKernel,
+    MatchPlan,
+    matcher_backends,
+    register_matcher_backend,
+    resolve_matcher_backend,
+    unregister_matcher_backend,
+)
 from .matcher import PackedMatcher
 from .packing import (
     WORD_BITS,
+    full_mask_words,
     pack_bool_matrix,
     popcount,
+    tail_word_mask,
     unpack_bool_matrix,
     words_for_bits,
 )
@@ -36,11 +53,22 @@ __all__ = [
     "pack_bool_matrix",
     "unpack_bool_matrix",
     "popcount",
+    "tail_word_mask",
+    "full_mask_words",
     "WordCodec",
     "PatternCodec",
     "TernaryPlanes",
     "default_tolerance",
     "PackedMatcher",
+    "MatcherKernel",
+    "MatchPlan",
+    "matcher_backends",
+    "register_matcher_backend",
+    "unregister_matcher_backend",
+    "resolve_matcher_backend",
+    "MATCHER_BACKEND_ENV",
+    "DEFAULT_MATCHER_BACKEND",
+    "HAVE_NUMBA",
     "ActivationCache",
     "BatchScore",
     "BatchScoringEngine",

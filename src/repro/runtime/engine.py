@@ -208,9 +208,20 @@ class BatchScoringEngine:
     scored through its own batched path unchanged.
     """
 
-    def __init__(self, network: Sequential, max_cache_entries: int = 16) -> None:
+    def __init__(
+        self,
+        network: Sequential,
+        max_cache_entries: int = 16,
+        matcher_backend=None,
+    ) -> None:
         self.network = network
         self.cache = ActivationCache(network, max_entries=max_cache_entries)
+        #: Matcher-kernel back-end suggestion for monitors bound to this
+        #: engine: pattern monitors fitted while bound adopt it for their
+        #: pattern sets unless they carry an explicit choice of their own
+        #: (see ActivationMonitor.matcher_backend_choice).  ``None`` defers
+        #: to the ``REPRO_MATCHER_BACKEND`` env var / ``numpy`` default.
+        self.matcher_backend = matcher_backend
 
     # ------------------------------------------------------------------
     def layer_features(self, inputs: np.ndarray, layer_index: int) -> np.ndarray:

@@ -5,9 +5,11 @@ representation (model counting, Hamming relaxation, DAG-size introspection),
 but answering "is this batch of words in the set?" one BDD walk at a time is
 a Python-loop-bound operation.  :class:`PackedMatcher` mirrors every
 insertion into three flat NumPy structures and answers batched membership
-with a few broadcast kernels, exactly like a ternary CAM in a network switch:
+through a pluggable *matcher kernel*, exactly like a ternary CAM in a
+network switch:
 
-* fully specified words — a hash set of packed rows (O(1) per probe);
+* fully specified words — a deduplicated row matrix, matched by sort-based
+  row lookup (or binary search in the compiled kernel);
 * ternary words — ``(M, W)`` value/mask bit-planes; probe ``p`` matches row
   ``i`` iff ``(p ^ value_i) & mask_i == 0``;
 * code-range words (robust interval monitors) — ``(M, P)`` per-position
@@ -16,6 +18,17 @@ with a few broadcast kernels, exactly like a ternary CAM in a network switch:
 The mirror is exact: each structure covers precisely the words the
 corresponding insertion API added, so matcher membership equals BDD
 membership (a property the test suite pins down).
+
+Kernel selection
+----------------
+The execution engine is chosen from :mod:`repro.runtime.kernels` — per
+matcher via the ``backend`` constructor argument (a registry name or kernel
+instance), or process-wide via ``REPRO_MATCHER_BACKEND``; the default is
+the ``numpy`` reference.  All registered back-ends are pinned bit-for-bit
+equivalent, so the choice only changes speed, never verdicts.  An *empty*
+matcher never dispatches a kernel at all: membership is an allocated
+all-False vector, so freshly constructed monitors pay no kernel resolution
+or JIT warm-up.
 """
 
 from __future__ import annotations
@@ -26,19 +39,34 @@ import numpy as np
 
 from ..exceptions import ShapeError
 from .codec import TernaryPlanes, WordCodec
-from .packing import pack_bool_matrix
+from .kernels import BackendChoice, MatcherKernel, MatchPlan, resolve_matcher_backend
+from .packing import full_mask_words
 
 __all__ = ["PackedMatcher"]
 
-#: Soft cap on broadcast buffer elements; probe batches are chunked to this.
-_CHUNK_ELEMENTS = 1 << 22
-
 
 class PackedMatcher:
-    """Vectorised membership mirror of a pattern set."""
+    """Vectorised membership mirror of a pattern set.
 
-    def __init__(self, word_codec: WordCodec) -> None:
+    Parameters
+    ----------
+    word_codec:
+        Bit layout of the mirrored pattern words.
+    backend:
+        Matcher-kernel choice: a registry name (``"numpy"``, ``"compiled"``,
+        ``"sharded"``, or anything registered via
+        :func:`~repro.runtime.kernels.register_matcher_backend`), a ready
+        :class:`~repro.runtime.kernels.MatcherKernel` instance, or ``None``
+        to defer to the ``REPRO_MATCHER_BACKEND`` environment variable /
+        the ``numpy`` default.  Resolution happens lazily at the first
+        non-trivial query, so constructing matchers is registry-free and an
+        invalid name fails with the valid choices listed.
+    """
+
+    def __init__(self, word_codec: WordCodec, backend: BackendChoice = None) -> None:
         self.word_codec = word_codec
+        self._backend_choice: BackendChoice = backend
+        self._kernel: Optional[MatcherKernel] = None
         self._exact_rows: set = set()
         self._ternary_values: List[np.ndarray] = []
         self._ternary_masks: List[np.ndarray] = []
@@ -48,9 +76,29 @@ class PackedMatcher:
         self._pending_masks: List[Sequence[int]] = []
         self._range_low: List[np.ndarray] = []
         self._range_high: List[np.ndarray] = []
+        self._exact_stacked: Optional[np.ndarray] = None
         self._ternary_stacked: Optional[TernaryPlanes] = None
         self._range_stacked: Optional[tuple] = None
         self._full_mask_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # kernel selection
+    # ------------------------------------------------------------------
+    def kernel(self) -> MatcherKernel:
+        """The resolved matcher kernel (resolving the choice on first use)."""
+        if self._kernel is None:
+            self._kernel = resolve_matcher_backend(self._backend_choice)
+        return self._kernel
+
+    def set_backend(self, backend: BackendChoice) -> None:
+        """Re-bind the matcher to another kernel back-end (state unchanged)."""
+        self._backend_choice = backend
+        self._kernel = None
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the active kernel (resolves the choice)."""
+        return self.kernel().name
 
     # ------------------------------------------------------------------
     # insertion
@@ -62,10 +110,12 @@ class PackedMatcher:
             raise ShapeError("packed rows do not match the codec word width")
         for row in packed:
             self._exact_rows.add(row.tobytes())
+        self._exact_stacked = None
 
     def add_exact_bytes(self, row_bytes: bytes) -> None:
         """Mirror one fully specified word given as little-endian row bytes."""
         self._exact_rows.add(row_bytes)
+        self._exact_stacked = None
 
     def add_ternary_raw(
         self, value_words: Sequence[int], mask_words: Sequence[int]
@@ -160,6 +210,7 @@ class PackedMatcher:
         self._pending_masks.extend(other._pending_masks)
         self._range_low.extend(other._range_low)
         self._range_high.extend(other._range_high)
+        self._exact_stacked = None
         self._ternary_stacked = None
         self._range_stacked = None
 
@@ -168,8 +219,7 @@ class PackedMatcher:
     # ------------------------------------------------------------------
     def _full_mask(self) -> np.ndarray:
         if self._full_mask_cache is None:
-            bits = np.ones((1, self.word_codec.num_bits), dtype=bool)
-            self._full_mask_cache = pack_bool_matrix(bits)[0]
+            self._full_mask_cache = full_mask_words(self.word_codec.num_bits)
         return self._full_mask_cache
 
     def _consolidate_pending(self) -> None:
@@ -181,6 +231,21 @@ class PackedMatcher:
         self._ternary_masks.extend(np.array(self._pending_masks, dtype=np.uint64))
         self._pending_values = []
         self._pending_masks = []
+
+    def _exact_arrays(self) -> Optional[np.ndarray]:
+        """Deduplicated exact rows in row-lexicographic (word 0 first) order."""
+        if not self._exact_rows:
+            return None
+        if self._exact_stacked is None:
+            rows = np.frombuffer(
+                b"".join(self._exact_rows), dtype=np.uint64
+            ).reshape(-1, self.word_codec.num_words)
+            # np.lexsort sorts by its *last* key first: feed the columns
+            # reversed so word 0 is the primary key (what the compiled
+            # kernel's binary search expects).
+            order = np.lexsort(tuple(rows[:, w] for w in reversed(range(rows.shape[1]))))
+            self._exact_stacked = np.ascontiguousarray(rows[order])
+        return self._exact_stacked
 
     def _ternary_arrays(self) -> Optional[TernaryPlanes]:
         self._consolidate_pending()
@@ -203,7 +268,30 @@ class PackedMatcher:
             )
         return self._range_stacked
 
-    def contains_packed(self, packed: np.ndarray, codes: Optional[np.ndarray] = None) -> np.ndarray:
+    @property
+    def is_empty(self) -> bool:
+        """True when no entry of any type has been mirrored yet."""
+        return not (
+            self._exact_rows
+            or self._ternary_values
+            or self._pending_values
+            or self._range_low
+        )
+
+    def match_plan(self) -> MatchPlan:
+        """Consolidated kernel-ready image of the matcher's current state."""
+        ranges = self._range_arrays()
+        return MatchPlan(
+            word_codec=self.word_codec,
+            exact=self._exact_arrays(),
+            ternary=self._ternary_arrays(),
+            range_low=ranges[0] if ranges is not None else None,
+            range_high=ranges[1] if ranges is not None else None,
+        )
+
+    def contains_packed(
+        self, packed: np.ndarray, codes: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Batched membership of fully specified packed probe words.
 
         ``codes`` may be passed alongside to avoid re-unpacking when
@@ -212,60 +300,16 @@ class PackedMatcher:
         packed = np.ascontiguousarray(packed, dtype=np.uint64)
         if packed.ndim != 2 or packed.shape[1] != self.word_codec.num_words:
             raise ShapeError("probe rows do not match the codec word width")
-        num_probes = packed.shape[0]
-        hits = np.fromiter(
-            (row.tobytes() in self._exact_rows for row in packed),
-            dtype=bool,
-            count=num_probes,
-        )
-        ternary = self._ternary_arrays()
-        if ternary is not None and not np.all(hits):
-            misses = np.nonzero(~hits)[0]
-            hits[misses] |= self._match_ternary(packed[misses], ternary)
-        ranges = self._range_arrays()
-        if ranges is not None and not np.all(hits):
-            misses = np.nonzero(~hits)[0]
-            probe_codes = (
-                codes[misses]
-                if codes is not None
-                else self.word_codec.unpack_codes(packed[misses])
-            )
-            hits[misses] |= self._match_ranges(probe_codes, *ranges)
-        return hits
+        if self.is_empty or packed.shape[0] == 0:
+            # Allocated-shape early-out on every backend: no plan build, no
+            # kernel resolution/dispatch, no JIT warm-up.
+            return np.zeros(packed.shape[0], dtype=bool)
+        return self.kernel().match(self.match_plan(), packed, codes=codes)
 
     def contains_codes(self, codes: np.ndarray) -> np.ndarray:
         """Batched membership of probes given as ``(N, P)`` code matrices."""
         codes = np.atleast_2d(np.asarray(codes, dtype=np.int64))
         return self.contains_packed(self.word_codec.pack_codes(codes), codes=codes)
-
-    # ------------------------------------------------------------------
-    def _match_ternary(self, probes: np.ndarray, planes: TernaryPlanes) -> np.ndarray:
-        num_entries, num_words = planes.values.shape
-        out = np.zeros(probes.shape[0], dtype=bool)
-        chunk = max(1, _CHUNK_ELEMENTS // max(1, num_entries * num_words))
-        for start in range(0, probes.shape[0], chunk):
-            block = probes[start : start + chunk]
-            mismatch = (block[:, None, :] ^ planes.values[None, :, :]) & planes.masks[
-                None, :, :
-            ]
-            out[start : start + chunk] = np.logical_not(
-                mismatch.any(axis=2)
-            ).any(axis=1)
-        return out
-
-    def _match_ranges(
-        self, probe_codes: np.ndarray, low: np.ndarray, high: np.ndarray
-    ) -> np.ndarray:
-        num_entries, num_positions = low.shape
-        out = np.zeros(probe_codes.shape[0], dtype=bool)
-        chunk = max(1, _CHUNK_ELEMENTS // max(1, num_entries * num_positions))
-        for start in range(0, probe_codes.shape[0], chunk):
-            block = probe_codes[start : start + chunk]
-            inside = (block[:, None, :] >= low[None, :, :]) & (
-                block[:, None, :] <= high[None, :, :]
-            )
-            out[start : start + chunk] = inside.all(axis=2).any(axis=1)
-        return out
 
     # ------------------------------------------------------------------
     @property
@@ -283,5 +327,5 @@ class PackedMatcher:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"PackedMatcher(exact={self.num_exact}, ternary={self.num_ternary}, "
-            f"ranges={self.num_ranges})"
+            f"ranges={self.num_ranges}, backend={self._backend_choice or 'default'})"
         )

@@ -23,6 +23,8 @@ __all__ = [
     "pack_bool_matrix",
     "unpack_bool_matrix",
     "popcount",
+    "tail_word_mask",
+    "full_mask_words",
 ]
 
 #: Number of pattern bits stored per machine word.
@@ -36,6 +38,28 @@ def words_for_bits(num_bits: int) -> int:
     if num_bits <= 0:
         raise ConfigurationError("num_bits must be positive")
     return (int(num_bits) + WORD_BITS - 1) // WORD_BITS
+
+
+def tail_word_mask(num_bits: int) -> np.uint64:
+    """Mask of the *valid* bits of the last machine word of a packed row.
+
+    For widths that are an exact multiple of 64 the whole word is valid;
+    otherwise only the low ``num_bits % 64`` bits are.  Packed rows always
+    keep their padding bits zero (pinned by the matcher tail-masking tests),
+    so whole-word equality compares stay exact at any bit width.
+    """
+    remainder = int(num_bits) % WORD_BITS
+    if remainder == 0:
+        return np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+    return np.uint64((1 << remainder) - 1)
+
+
+def full_mask_words(num_bits: int) -> np.ndarray:
+    """The packed all-ones word of ``num_bits`` bits (padding bits zero)."""
+    num_words = words_for_bits(num_bits)
+    mask = np.full(num_words, 0xFFFF_FFFF_FFFF_FFFF, dtype=np.uint64)
+    mask[-1] = tail_word_mask(num_bits)
+    return mask
 
 
 def pack_bool_matrix(bits: np.ndarray) -> np.ndarray:

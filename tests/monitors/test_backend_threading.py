@@ -1,0 +1,191 @@
+"""Matcher back-end selection threaded through the monitor/serving stack.
+
+The kernel registry lives in ``repro.runtime.kernels``; these tests pin the
+*plumbing*: every construction path (constructor kwarg, engine suggestion,
+environment default, post-fit re-bind, ensemble / class-conditional /
+registry / streaming fan-out, serialisation reload) ends up selecting the
+requested kernel without changing a single verdict.
+"""
+
+import numpy as np
+import pytest
+
+from repro.monitors.boolean import BooleanPatternMonitor
+from repro.monitors.builder import ClassConditionalMonitor, MonitorBuilder
+from repro.monitors.ensemble import MonitorEnsemble
+from repro.monitors.interval import IntervalPatternMonitor
+from repro.monitors.minmax import MinMaxMonitor
+from repro.monitors.registry import MonitorRegistry
+from repro.monitors.serialization import load_monitor, save_monitor
+from repro.runtime.engine import BatchScoringEngine
+from repro.runtime.kernels import MATCHER_BACKEND_ENV, NumpyMatcherKernel
+from repro.service.streaming import StreamingScorer
+
+
+@pytest.fixture
+def probe_inputs(rng):
+    return rng.uniform(-2.0, 2.0, size=(40, 6))
+
+
+def fitted_boolean(network, inputs, **kwargs):
+    return BooleanPatternMonitor(network, 1, **kwargs).fit(inputs)
+
+
+class TestMonitorConstruction:
+    def test_constructor_kwarg_selects_backend(self, tiny_network, tiny_inputs):
+        monitor = fitted_boolean(tiny_network, tiny_inputs, matcher_backend="sharded")
+        assert monitor.patterns.matcher_backend == "sharded"
+
+    def test_interval_constructor_kwarg(self, tiny_network, tiny_inputs):
+        monitor = IntervalPatternMonitor(
+            tiny_network, 1, num_cuts=2, matcher_backend="sharded"
+        ).fit(tiny_inputs)
+        assert monitor.patterns.matcher_backend == "sharded"
+
+    def test_backends_agree_on_verdicts(self, tiny_network, tiny_inputs, probe_inputs):
+        reference = fitted_boolean(tiny_network, tiny_inputs)
+        expected = reference.warn_batch(probe_inputs)
+        for backend in ("compiled", "sharded"):
+            monitor = fitted_boolean(tiny_network, tiny_inputs, matcher_backend=backend)
+            np.testing.assert_array_equal(monitor.warn_batch(probe_inputs), expected)
+
+    def test_set_matcher_backend_rebinds_fitted_patterns(
+        self, tiny_network, tiny_inputs, probe_inputs
+    ):
+        monitor = fitted_boolean(tiny_network, tiny_inputs)
+        before = monitor.warn_batch(probe_inputs)
+        result = monitor.set_matcher_backend("sharded")
+        assert result is monitor
+        assert monitor.patterns.matcher_backend == "sharded"
+        np.testing.assert_array_equal(monitor.warn_batch(probe_inputs), before)
+        # Refits remember the choice.
+        monitor.fit(tiny_inputs)
+        assert monitor.patterns.matcher_backend == "sharded"
+
+    def test_kernel_instance_accepted(self, tiny_network, tiny_inputs):
+        kernel = NumpyMatcherKernel()
+        monitor = fitted_boolean(tiny_network, tiny_inputs, matcher_backend=kernel)
+        assert monitor.patterns.matcher_backend == "numpy"
+
+    def test_env_default_applies_at_dispatch(
+        self, tiny_network, tiny_inputs, probe_inputs, monkeypatch
+    ):
+        monitor = fitted_boolean(tiny_network, tiny_inputs)
+        monkeypatch.setenv(MATCHER_BACKEND_ENV, "sharded")
+        # No explicit choice anywhere: the env wins at kernel resolution.
+        assert monitor.patterns.matcher_backend == "sharded"
+        assert monitor.warn_batch(probe_inputs).shape == (40,)
+
+
+class TestEngineSuggestion:
+    def test_engine_suggestion_adopted_during_bound_fit(self, tiny_network, tiny_inputs):
+        engine = BatchScoringEngine(tiny_network, matcher_backend="sharded")
+        monitor = BooleanPatternMonitor(tiny_network, 1)
+        monitor.bind_engine(engine)
+        monitor.fit(tiny_inputs)
+        assert monitor.patterns.matcher_backend == "sharded"
+
+    def test_monitor_choice_beats_engine_suggestion(self, tiny_network, tiny_inputs):
+        engine = BatchScoringEngine(tiny_network, matcher_backend="sharded")
+        monitor = BooleanPatternMonitor(tiny_network, 1, matcher_backend="numpy")
+        monitor.bind_engine(engine)
+        monitor.fit(tiny_inputs)
+        assert monitor.patterns.matcher_backend == "numpy"
+
+    def test_unbound_fit_ignores_engines(self, tiny_network, tiny_inputs, monkeypatch):
+        monkeypatch.delenv(MATCHER_BACKEND_ENV, raising=False)
+        monitor = fitted_boolean(tiny_network, tiny_inputs)
+        assert monitor.matcher_backend_choice() is None
+        assert monitor.patterns.matcher_backend == "numpy"
+
+
+class TestFanOut:
+    def test_ensemble_threads_backend_to_members(
+        self, tiny_network, tiny_inputs, probe_inputs
+    ):
+        members = [
+            BooleanPatternMonitor(tiny_network, 1),
+            IntervalPatternMonitor(tiny_network, 1, num_cuts=2),
+            MinMaxMonitor(tiny_network, 1),
+        ]
+        ensemble = MonitorEnsemble(members, vote="any").fit(tiny_inputs)
+        before = ensemble.warn_batch(probe_inputs)
+        assert ensemble.set_matcher_backend("sharded") is ensemble
+        assert members[0].patterns.matcher_backend == "sharded"
+        assert members[1].patterns.matcher_backend == "sharded"
+        assert members[2].matcher_backend == "sharded"  # recorded, no patterns
+        np.testing.assert_array_equal(ensemble.warn_batch(probe_inputs), before)
+
+    def test_class_conditional_applies_and_records(self, trained_digits):
+        network, train, _ = trained_digits
+        builder = MonitorBuilder("boolean", 1)
+        monitor = ClassConditionalMonitor(builder, num_classes=4).fit(
+            network, train.inputs, labels=train.targets
+        )
+        before = monitor.warn_batch(train.inputs)
+        monitor.set_matcher_backend("sharded")
+        assert builder.options["matcher_backend"] == "sharded"
+        for class_id in range(4):
+            fitted = monitor.monitor_for_class(class_id)
+            if fitted is not None:
+                assert fitted.patterns.matcher_backend == "sharded"
+        np.testing.assert_array_equal(monitor.warn_batch(train.inputs), before)
+
+    def test_class_conditional_minmax_skips_builder_option(self, trained_digits):
+        network, train, _ = trained_digits
+        builder = MonitorBuilder("minmax", 1)
+        monitor = ClassConditionalMonitor(builder, num_classes=4).fit(
+            network, train.inputs, labels=train.targets
+        )
+        monitor.set_matcher_backend("sharded")
+        # min-max constructors take no matcher kwarg; the option must not
+        # leak into later builds.
+        assert "matcher_backend" not in builder.options
+
+    def test_registry_reports_switched_members(self, tiny_network, tiny_inputs):
+        registry = MonitorRegistry(tiny_network)
+        registry.register("bool", fitted_boolean(tiny_network, tiny_inputs))
+        registry.register("minmax", MinMaxMonitor(tiny_network, 1).fit(tiny_inputs))
+        switched = registry.set_matcher_backend("sharded")
+        assert set(switched) == {"bool", "minmax"}
+        assert registry.get("bool").patterns.matcher_backend == "sharded"
+
+    def test_streaming_scorer_switches_midstream(
+        self, tiny_network, tiny_inputs, probe_inputs
+    ):
+        with StreamingScorer(tiny_network) as scorer:
+            scorer.register("bool", fitted_boolean(tiny_network, tiny_inputs))
+            first = [
+                future.result(timeout=10).warns
+                for future in scorer.submit_many(probe_inputs[:5])
+            ]
+            switched = scorer.set_matcher_backend("sharded")
+            assert switched == ("bool",)
+            second = [
+                future.result(timeout=10).warns
+                for future in scorer.submit_many(probe_inputs[:5])
+            ]
+        assert first == second
+
+
+class TestSerializationReload:
+    @pytest.mark.parametrize("fmt", [1, 2])
+    def test_load_monitor_backend_param(
+        self, tiny_network, tiny_inputs, probe_inputs, tmp_path, fmt
+    ):
+        monitor = fitted_boolean(tiny_network, tiny_inputs)
+        expected = monitor.warn_batch(probe_inputs)
+        path = save_monitor(monitor, tmp_path / "monitor.npz", format=fmt)
+        restored = load_monitor(path, tiny_network, matcher_backend="sharded")
+        assert restored.matcher_backend == "sharded"
+        assert restored.patterns.matcher_backend == "sharded"
+        np.testing.assert_array_equal(restored.warn_batch(probe_inputs), expected)
+
+    def test_load_monitor_default_backend(
+        self, tiny_network, tiny_inputs, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv(MATCHER_BACKEND_ENV, raising=False)
+        monitor = IntervalPatternMonitor(tiny_network, 1, num_cuts=2).fit(tiny_inputs)
+        path = save_monitor(monitor, tmp_path / "interval.npz")
+        restored = load_monitor(path, tiny_network)
+        assert restored.patterns.matcher_backend == "numpy"

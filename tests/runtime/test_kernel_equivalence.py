@@ -1,0 +1,212 @@
+"""Property tests: every matcher back-end is bit-identical to ``numpy``.
+
+The back-end registry's contract is that kernels are interchangeable
+*executions* of one plan, never different semantics.  These tests generate
+random mixes of exact, ternary and range structures over random codec
+shapes — widths deliberately straddling the 64-bit machine-word boundary —
+and pin every registered back-end (plus a forced-sharding configuration
+that always splits the probe batch) to the reference verdict vector, both
+on live matchers and across the ``packed_state`` → ``from_packed_state``
+serialisation round-trip.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.patterns import PatternSet
+from repro.runtime import PackedMatcher, WordCodec
+from repro.runtime.codec import PatternCodec
+from repro.runtime.kernels import (
+    NumpyMatcherKernel,
+    ShardedMatcherKernel,
+    matcher_backends,
+)
+
+BACKENDS = sorted(matcher_backends())
+
+
+def alternate_kernels():
+    """Every registered back-end plus a forced-multi-shard configuration."""
+    kernels = list(BACKENDS)
+    kernels.append(
+        ShardedMatcherKernel(inner=NumpyMatcherKernel(), min_shard_rows=4, max_workers=4)
+    )
+    return kernels
+
+
+@st.composite
+def matcher_workloads(draw):
+    """A random codec shape plus exact/ternary/range structures and probes."""
+    num_positions = draw(st.integers(min_value=1, max_value=70))
+    bits = draw(st.integers(min_value=1, max_value=2))
+    num_codes = 1 << bits
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+
+    num_exact = draw(st.integers(min_value=0, max_value=8))
+    exact = rng.integers(0, num_codes, size=(num_exact, num_positions))
+
+    num_ranges = draw(st.integers(min_value=0, max_value=4))
+    low = rng.integers(0, num_codes, size=(num_ranges, num_positions))
+    width = rng.integers(0, num_codes, size=(num_ranges, num_positions))
+    high = np.minimum(low + width, num_codes - 1)
+
+    num_probes = draw(st.integers(min_value=0, max_value=30))
+    probes = rng.integers(0, num_codes, size=(num_probes, num_positions))
+    # Re-probe some stored rows so positive hits are guaranteed to occur.
+    for source in (exact, low, high):
+        if source.shape[0] and probes.shape[0]:
+            take = min(source.shape[0], max(1, probes.shape[0] // 4))
+            probes[:take] = source[:take]
+
+    # Ternary entries as feature intervals (encoded through the codec so
+    # value/mask planes are generated exactly like monitor fits generate
+    # them); ``span`` widens some positions into don't-cares.
+    # Ternary planes exist only for 1-bit codecs (on/off activation patterns).
+    num_ternary = draw(st.integers(min_value=0, max_value=4)) if bits == 1 else 0
+    centres = rng.normal(size=(num_ternary, num_positions))
+    spans = rng.uniform(0.0, 1.5, size=(num_ternary, num_positions))
+    return {
+        "num_positions": num_positions,
+        "bits": bits,
+        "exact": exact,
+        "range_low": low,
+        "range_high": high,
+        "ternary_centres": centres,
+        "ternary_spans": spans,
+        "probes": probes,
+    }
+
+
+def build_matcher(codec, workload, backend):
+    matcher = PackedMatcher(codec.word_codec, backend=backend)
+    if workload["exact"].shape[0]:
+        matcher.add_exact_packed(codec.word_codec.pack_codes(workload["exact"]))
+    if workload["range_low"].shape[0]:
+        matcher.add_code_ranges(workload["range_low"], workload["range_high"])
+    if workload["ternary_centres"].shape[0]:
+        low = workload["ternary_centres"] - workload["ternary_spans"]
+        high = workload["ternary_centres"] + workload["ternary_spans"]
+        matcher.add_ternary(codec.ternary_planes(low, high))
+    return matcher
+
+
+def make_codec(workload):
+    cuts = np.linspace(-1.0, 1.0, (1 << workload["bits"]) - 1)
+    cut_points = np.tile(cuts, (workload["num_positions"], 1))
+    return PatternCodec(cut_points)
+
+
+class TestBackendEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(workload=matcher_workloads())
+    def test_all_backends_bit_identical(self, workload):
+        codec = make_codec(workload)
+        reference = build_matcher(codec, workload, "numpy")
+        expected = reference.contains_codes(workload["probes"])
+        packed = codec.word_codec.pack_codes(workload["probes"])
+        for backend in alternate_kernels():
+            candidate = build_matcher(codec, workload, backend)
+            np.testing.assert_array_equal(
+                candidate.contains_codes(workload["probes"]),
+                expected,
+                err_msg=f"backend {backend!r} diverged on codes",
+            )
+            np.testing.assert_array_equal(
+                candidate.contains_packed(packed),
+                expected,
+                err_msg=f"backend {backend!r} diverged on packed probes",
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(workload=matcher_workloads())
+    def test_export_state_reload_keeps_equivalence(self, workload):
+        codec = make_codec(workload)
+        reference = build_matcher(codec, workload, "numpy")
+        expected = reference.contains_codes(workload["probes"])
+        state = reference.export_state()
+        for backend in alternate_kernels():
+            clone = PackedMatcher(codec.word_codec, backend=backend)
+            clone.add_exact_packed(state["exact"])
+            if state["ternary_values"].shape[0]:
+                from repro.runtime.codec import TernaryPlanes
+
+                clone.add_ternary(
+                    TernaryPlanes(
+                        values=state["ternary_values"], masks=state["ternary_masks"]
+                    )
+                )
+            if state["range_low"].shape[0]:
+                clone.add_code_ranges(state["range_low"], state["range_high"])
+            np.testing.assert_array_equal(
+                clone.contains_codes(workload["probes"]),
+                expected,
+                err_msg=f"backend {backend!r} diverged after export_state reload",
+            )
+
+
+class TestPatternSetEquivalence:
+    """The monitor-facing surface: contains_batch and format-2 round-trips."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_positions=st.integers(min_value=1, max_value=66),
+    )
+    def test_contains_batch_across_backends(self, seed, num_positions):
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 2, size=(10, num_positions))
+        probes = np.vstack([words[:5], rng.integers(0, 2, size=(20, num_positions))])
+        reference = PatternSet(num_positions)
+        reference.add_patterns(words)
+        expected = reference.contains_batch(probes)
+        assert expected[:5].all()
+        for backend in alternate_kernels():
+            candidate = PatternSet(num_positions, matcher_backend=backend)
+            candidate.add_patterns(words)
+            np.testing.assert_array_equal(candidate.contains_batch(probes), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        num_positions=st.integers(min_value=1, max_value=40),
+        bits=st.integers(min_value=1, max_value=2),
+    )
+    def test_format2_roundtrip_across_backends(self, seed, num_positions, bits):
+        rng = np.random.default_rng(seed)
+        num_codes = 1 << bits
+        low = rng.integers(0, num_codes, size=(4, num_positions))
+        high = np.minimum(low + rng.integers(0, 2, size=low.shape), num_codes - 1)
+        words = rng.integers(0, num_codes, size=(6, num_positions))
+        original = PatternSet(num_positions, bits_per_position=bits)
+        original.add_patterns(words)
+        original.add_range_patterns(low, high)
+        probes = np.vstack(
+            [words, low, rng.integers(0, num_codes, size=(25, num_positions))]
+        )
+        expected = original.contains_batch(probes)
+        state = original.packed_state()
+        for backend in alternate_kernels():
+            restored = PatternSet.from_packed_state(
+                num_positions,
+                bits,
+                state,
+                insertions=original.insertions,
+                matcher_backend=backend,
+            )
+            np.testing.assert_array_equal(restored.contains_batch(probes), expected)
+            if isinstance(backend, str):
+                assert restored.matcher_backend == backend
+
+
+def test_unknown_backend_rejected_with_choice_list():
+    matcher = PackedMatcher(WordCodec(8, 1), backend="no-such-kernel")
+    matcher.add_ternary_raw([1], [3])
+    with pytest.raises(ValueError) as excinfo:
+        matcher.contains_packed(np.zeros((2, 1), dtype=np.uint64))
+    message = str(excinfo.value)
+    assert "no-such-kernel" in message
+    for name in matcher_backends():
+        assert name in message
