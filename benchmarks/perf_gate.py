@@ -17,6 +17,11 @@ Usage::
     python benchmarks/perf_gate.py BENCH_2026-07-29.json
     python benchmarks/perf_gate.py BENCH_2026-07-29.json --threshold 0.25
     python benchmarks/perf_gate.py BENCH_2026-07-29.json --update-baseline
+    python benchmarks/perf_gate.py BENCH_2026-07-29.json --step-summary "$GITHUB_STEP_SUMMARY"
+
+``--step-summary`` additionally appends the comparison as a Markdown table
+to the given file — CI points it at ``$GITHUB_STEP_SUMMARY`` so a
+regression is readable from the job page without downloading artifacts.
 
 ``--update-baseline`` rewrites the committed baseline from the current
 summary (run after an intentional perf change, commit the result).
@@ -69,6 +74,46 @@ def normalised(timings: dict) -> dict:
     }
 
 
+def write_step_summary(
+    path: str,
+    rows: list,
+    only_base: list,
+    only_curr: list,
+    failures: list,
+    threshold: float,
+) -> None:
+    """Append the gate's comparison as a Markdown table to ``path``.
+
+    ``rows`` holds ``(name, baseline_ratio, current_ratio, change)`` tuples
+    for benchmarks present in both summaries.
+    """
+    lines = ["### Perf-regression gate", ""]
+    if rows:
+        lines += [
+            "| benchmark | baseline | current | change |",
+            "| --- | ---: | ---: | ---: |",
+        ]
+        failed_names = {name for name, _ in failures}
+        for name, base, curr, change in rows:
+            flag = " ⚠️ **regression**" if name in failed_names else ""
+            lines.append(f"| `{name}` | {base:.3f} | {curr:.3f} | {change:+.1%}{flag} |")
+        lines.append("")
+    for name in only_base:
+        lines.append(f"- `{name}` retired (baseline only)")
+    for name in only_curr:
+        lines.append(f"- `{name}` new (no baseline yet)")
+    if failures:
+        lines.append(
+            f"**FAIL** — {len(failures)} benchmark(s) regressed more "
+            f"than {threshold:.0%} vs baseline."
+        )
+    else:
+        lines.append(f"**OK** — no tracked benchmark regressed more than {threshold:.0%}.")
+    lines.append("")
+    with open(path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="BENCH_<date>.json produced by this run")
@@ -83,6 +128,12 @@ def main(argv=None) -> int:
         "--update-baseline",
         action="store_true",
         help="rewrite the baseline from the current summary and exit",
+    )
+    parser.add_argument(
+        "--step-summary",
+        metavar="PATH",
+        help="also append the comparison as a Markdown table to PATH "
+        "(CI passes $GITHUB_STEP_SUMMARY)",
     )
     args = parser.parse_args(argv)
 
@@ -112,6 +163,7 @@ def main(argv=None) -> int:
         raise SystemExit("no benchmark appears in both baseline and current summary")
 
     failures = []
+    rows = []
     print(f"{'benchmark':<40} {'baseline':>10} {'current':>10} {'change':>8}")
     for name in tracked:
         change = curr_ratios[name] / base_ratios[name] - 1.0
@@ -119,6 +171,7 @@ def main(argv=None) -> int:
         if change > args.threshold:
             failures.append((name, change))
             flag = "  << REGRESSION"
+        rows.append((name, base_ratios[name], curr_ratios[name], change))
         print(
             f"{name:<40} {base_ratios[name]:>10.3f} {curr_ratios[name]:>10.3f} "
             f"{change:>+7.1%}{flag}"
@@ -127,6 +180,11 @@ def main(argv=None) -> int:
         print(f"{name:<40} (retired: baseline only)")
     for name in only_curr:
         print(f"{name:<40} (new: no baseline yet)")
+
+    if args.step_summary:
+        write_step_summary(
+            args.step_summary, rows, only_base, only_curr, failures, args.threshold
+        )
 
     if failures:
         print(

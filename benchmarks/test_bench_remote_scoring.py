@@ -1,0 +1,183 @@
+"""E13 — out-of-process socket serving vs in-process streaming.
+
+The worker pool exists to take scoring past the single-process GIL: N
+spawned workers, each with a private engine, fed over shared memory behind
+a TCP front-end.  This benchmark replays one frame stream through
+
+1. the in-process streaming scorer (the E11 path, informational here), and
+2. the socket server backed by pools of 1, 2 and 4 workers,
+
+asserts the verdicts of every path are identical to the offline
+``warn_batch``, records the single-worker remote wall time into the CI
+perf-regression gate (multi-worker wall times depend on the runner's core
+count, so they are informational underscore keys), and — on machines with
+at least 4 cores, i.e. the CI perf runners — pins the ISSUE acceptance
+bar: ≥1.5× throughput at 4 workers over 1.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.eval import format_scaling_report, measure_remote_throughput
+from repro.eval.service_report import measure_streaming_throughput
+from repro.monitors.boolean import BooleanPatternMonitor
+from repro.monitors.interval import IntervalPatternMonitor
+from repro.monitors.minmax import MinMaxMonitor
+from repro.nn.network import mlp
+from repro.service import BatchPolicy, StreamingScorer
+from repro.serving import ScoringClient, ScoringServer, WorkerPool, save_deployment
+from repro.serving.artifacts import DeploymentBundle
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+#: Deliberately heavier than the track workload: the pool's win is compute
+#: parallelism, so per-batch scoring work must dominate the per-batch
+#: dispatch cost.  Empirically a wide network with boolean + interval
+#: pattern monitors on every hidden layer costs ~6-8 ms of scoring per
+#: 32-frame batch, versus well under 1 ms of pool dispatch — enough for
+#: worker scaling to express itself on a multi-core runner.
+INPUT_DIM = 32
+HIDDEN_DIMS = (512, 512, 256)
+NUM_CUTS = 5
+NUM_FIT = 768 if QUICK else 1024
+NUM_FRAMES = 192 if QUICK else 576
+MAX_BATCH = 32
+BURST = 32
+WORKER_COUNTS = (1, 2, 4)
+SCALING_BAR = 1.5
+FUTURE_TIMEOUT = 120.0
+
+
+@pytest.fixture(scope="module")
+def remote_workload():
+    """A synthetic heavy deployment: network, fitted monitors, saved bundle."""
+    rng = np.random.default_rng(13)
+    network = mlp(
+        input_dim=INPUT_DIM,
+        hidden_dims=list(HIDDEN_DIMS),
+        output_dim=8,
+        activation="relu",
+        seed=13,
+    )
+    fit_inputs = rng.normal(size=(NUM_FIT, INPUT_DIM))
+    # Monitor every hidden layer, not just the last one: the per-batch
+    # matching cost is what the workers parallelise, so the workload stacks
+    # boolean + interval pattern monitors per layer plus a final minmax.
+    final_layer = 2 * len(HIDDEN_DIMS)  # last hidden activation layer
+    monitors = {"minmax": MinMaxMonitor(network, final_layer).fit(fit_inputs)}
+    for depth in range(1, len(HIDDEN_DIMS) + 1):
+        layer = 2 * depth
+        monitors[f"boolean_l{depth}"] = BooleanPatternMonitor(
+            network, layer, thresholds="mean"
+        ).fit(fit_inputs)
+        monitors[f"interval_l{depth}"] = IntervalPatternMonitor(
+            network, layer, num_cuts=NUM_CUTS
+        ).fit(fit_inputs)
+    directory = tempfile.mkdtemp(prefix="repro-bench-deploy-")
+    save_deployment(directory, network, monitors)
+    frames = rng.normal(size=(NUM_FRAMES, INPUT_DIM))
+    offline = {name: monitor.warn_batch(frames) for name, monitor in monitors.items()}
+    return {
+        "network": network,
+        "monitors": monitors,
+        "bundle": DeploymentBundle(directory),
+        "frames": frames,
+        "offline": offline,
+    }
+
+
+def _assert_parity(warns, offline):
+    for name, expected in offline.items():
+        np.testing.assert_array_equal(np.asarray(warns[name]), expected)
+
+
+def _measure_remote(bundle, frames, offline, workers, repeats):
+    """Boot a pool + server, replay the stream, return the best metrics."""
+    pool = WorkerPool(
+        bundle,
+        num_workers=workers,
+        policy=BatchPolicy(max_batch=MAX_BATCH, max_latency=0.002),
+    )
+    pool.start()
+    server = ScoringServer(pool, owns_scorer=True).start()
+    best = None
+    try:
+        with ScoringClient(server.address, timeout=FUTURE_TIMEOUT) as client:
+            # Warm-up pass doubles as the verdict-parity assertion: remote
+            # verdicts must be bit-identical to the offline warn_batch.
+            _assert_parity(client.score(frames), offline)
+            for _ in range(repeats):
+                metrics = measure_remote_throughput(client, frames, burst_size=BURST)
+                if best is None or metrics["wall_time_s"] < best["wall_time_s"]:
+                    best = metrics
+    finally:
+        server.close(drain=True, timeout=FUTURE_TIMEOUT)
+    return best
+
+
+@pytest.mark.benchmark(group="E13-remote-scoring")
+def test_remote_scoring_scaling(bench_record, remote_workload):
+    frames = remote_workload["frames"]
+    offline = remote_workload["offline"]
+    bundle = remote_workload["bundle"]
+    repeats = 2 if QUICK else 3
+    measurements = {}
+
+    # In-process streaming reference (E11 gates this path; informational).
+    policy = BatchPolicy(max_batch=MAX_BATCH, max_latency=0.002)
+    with StreamingScorer(remote_workload["network"], policy=policy) as scorer:
+        for name, monitor in remote_workload["monitors"].items():
+            scorer.register(name, monitor)
+        best = None
+        for _ in range(repeats):
+            metrics = measure_streaming_throughput(scorer, frames, burst_size=BURST)
+            if best is None or metrics["wall_time_s"] < best["wall_time_s"]:
+                best = metrics
+    measurements["in-process"] = best
+    bench_record.record(f"_inproc_streaming_n{NUM_FRAMES}", best["wall_time_s"])
+
+    for workers in WORKER_COUNTS:
+        metrics = _measure_remote(bundle, frames, offline, workers, repeats)
+        measurements[f"remote w={workers}"] = metrics
+        if workers == 1:
+            # Single-worker remote wall time is the gated key: one scoring
+            # process is calibration-normalisable across machines, pool
+            # scaling is not (it depends on the runner's core count).
+            bench_record.record(f"remote_socket_w1_n{NUM_FRAMES}", metrics["wall_time_s"])
+        else:
+            bench_record.record(
+                f"_remote_socket_w{workers}_n{NUM_FRAMES}", metrics["wall_time_s"]
+            )
+
+    scaling = (
+        measurements["remote w=4"]["frames_per_second"]
+        / measurements["remote w=1"]["frames_per_second"]
+    )
+    bench_record.record("_remote_scaling_w4_over_w1", scaling)
+    bench_record.annotate(
+        f"remote_socket_w1_n{NUM_FRAMES}",
+        cpu_count=os.cpu_count(),
+        scaling_w4_over_w1=round(scaling, 3),
+    )
+
+    print(f"\nE13: remote socket scoring, {NUM_FRAMES} frames x {INPUT_DIM} features")
+    print(
+        format_scaling_report(
+            measurements,
+            baseline="remote w=1",
+            title="E13 — in-process vs remote worker pool",
+        )
+    )
+    print(f"scaling w=4 over w=1: {scaling:.2f}x (cpus={os.cpu_count()})")
+
+    # ISSUE acceptance bar, enforced where the hardware can express it (the
+    # CI perf runners have 4 vCPUs); a 1-core container still runs the
+    # benchmark and records the timings, it just cannot scale.
+    if (os.cpu_count() or 1) >= 4:
+        assert scaling >= SCALING_BAR, (
+            f"expected >={SCALING_BAR}x throughput at 4 workers vs 1, "
+            f"got {scaling:.2f}x"
+        )

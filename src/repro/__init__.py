@@ -22,6 +22,9 @@ of Neuron Activation Patterns" (DATE 2021).  The library provides:
 * :mod:`repro.service` — the streaming scoring service: frames submitted
   one at a time are coalesced into micro-batches and scored through one
   shared engine pass across every registered monitor;
+* :mod:`repro.serving` — the out-of-process face of that service: a
+  length-prefixed TCP protocol, deployment bundles, a multi-process worker
+  pool fed through shared memory, and the socket server/client pair;
 * :mod:`repro.core` — end-to-end pipelines and reference workloads.
 
 Quickstart
@@ -50,9 +53,12 @@ from .exceptions import (
     LayerIndexError,
     NotFittedError,
     PropagationError,
+    ProtocolError,
+    RemoteScoringError,
     ReproError,
     SerializationError,
     ShapeError,
+    WorkerCrashError,
 )
 from .monitors import (
     BooleanPatternMonitor,
@@ -85,6 +91,9 @@ __all__ = [
     "PropagationError",
     "SerializationError",
     "DataError",
+    "ProtocolError",
+    "RemoteScoringError",
+    "WorkerCrashError",
     # networks
     "Sequential",
     "mlp",

@@ -151,36 +151,10 @@ class MonitorPipeline:
             {"standard": self.standard_builder, "robust": self.robust_builder}
         )
 
-    def serve(
-        self,
-        policy=None,
-        want_verdicts: bool = False,
-        **policy_options,
-    ):
-        """Fit the pipeline's monitors and return a *started* streaming scorer.
-
-        This is the online counterpart of :meth:`run`: the standard and
-        robust monitors are fitted on the workload's training set (sharing
-        one engine's forward pass and symbolic propagation during the fit)
-        and registered — under the names ``"standard"`` and ``"robust"`` —
-        on a :class:`~repro.service.StreamingScorer` whose worker thread is
-        already running.  The caller streams frames via ``submit`` /
-        ``submit_many`` and should ``close()`` the scorer (or use it as a
-        context manager) when done.
-
-        ``policy`` is a :class:`~repro.service.BatchPolicy`; alternatively
-        pass its fields (``max_batch=...``, ``max_latency=...``,
-        ``max_pending=...``) as keyword arguments.
-        """
+    def _fit_pair(self):
+        """Fit the standard + robust monitors sharing one engine's fit pass."""
         from ..runtime.engine import BatchScoringEngine
-        from ..service import BatchPolicy, StreamingScorer
 
-        if policy is not None and policy_options:
-            raise ConfigurationError(
-                "pass either a BatchPolicy or its fields as keywords, not both"
-            )
-        if policy is None:
-            policy = BatchPolicy(**policy_options)
         network = self.workload.network
         fit_engine = BatchScoringEngine(network)
         standard = self.standard_builder.build_and_fit(
@@ -190,14 +164,109 @@ class MonitorPipeline:
             network, self.workload.train.inputs, engine=fit_engine
         )
         # Fit-time scratch (training-set activations/bounds) is useless for
-        # serving; start the service with an empty cache.
+        # serving; hand the engine over with an empty cache.
         fit_engine.cache.clear()
-        scorer = StreamingScorer(
-            network, policy=policy, engine=fit_engine, want_verdicts=want_verdicts
+        return fit_engine, standard, robust
+
+    def serve(
+        self,
+        policy=None,
+        want_verdicts: bool = False,
+        remote: bool = False,
+        num_workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        artifact_dir=None,
+        mp_context: str = "spawn",
+        log_path=None,
+        **policy_options,
+    ):
+        """Fit the pipeline's monitors and return a *started* serving handle.
+
+        This is the online counterpart of :meth:`run`: the standard and
+        robust monitors are fitted on the workload's training set (sharing
+        one engine's forward pass and symbolic propagation during the fit)
+        and deployed under the names ``"standard"`` and ``"robust"``.
+
+        With ``remote=False`` (default) the handle is an in-process
+        :class:`~repro.service.StreamingScorer` whose worker thread is
+        already running; stream frames via ``submit`` / ``submit_many`` and
+        ``close()`` it (or use it as a context manager) when done.
+
+        With ``remote=True`` the fitted monitors are serialized to a
+        deployment bundle (under ``artifact_dir``, or a self-cleaning
+        temporary directory), a :class:`~repro.serving.WorkerPool` of
+        ``num_workers`` scoring processes boots from it, and the returned
+        handle is a *started* :class:`~repro.serving.ScoringServer` bound to
+        ``(host, port)`` (port ``0`` picks a free port — read
+        ``server.address``).  Connect a
+        :class:`~repro.serving.ScoringClient`; closing the server drains and
+        closes the pool too.  ``want_verdicts`` is an in-process-only
+        feature (verdict diagnostics do not travel over the wire).
+
+        ``policy`` is a :class:`~repro.service.BatchPolicy`; alternatively
+        pass its fields (``max_batch=...``, ``max_latency=...``,
+        ``max_pending=...``) as keyword arguments.
+        """
+        from ..service import BatchPolicy, StreamingScorer
+
+        if policy is not None and policy_options:
+            raise ConfigurationError(
+                "pass either a BatchPolicy or its fields as keywords, not both"
+            )
+        if remote and want_verdicts:
+            raise ConfigurationError(
+                "remote serving returns warn flags only; verdict diagnostics "
+                "are an in-process feature (serve(want_verdicts=True))"
+            )
+        fit_engine, standard, robust = self._fit_pair()
+        if not remote:
+            if policy is None:
+                policy = BatchPolicy(**policy_options)
+            scorer = StreamingScorer(
+                self.workload.network,
+                policy=policy,
+                engine=fit_engine,
+                want_verdicts=want_verdicts,
+            )
+            scorer.register("standard", standard)
+            scorer.register("robust", robust)
+            return scorer.start()
+
+        import shutil
+        import tempfile
+        from pathlib import Path
+
+        from ..serving import ScoringServer, WorkerPool, save_deployment
+        from ..serving.artifacts import DeploymentBundle
+
+        if policy is None and policy_options:
+            policy = BatchPolicy(**policy_options)
+        cleanup = None
+        if artifact_dir is None:
+            artifact_dir = tempfile.mkdtemp(prefix="repro-deploy-")
+
+            def cleanup(path=artifact_dir):
+                shutil.rmtree(path, ignore_errors=True)
+
+        directory = Path(artifact_dir)
+        save_deployment(
+            directory,
+            self.workload.network,
+            {"standard": standard, "robust": robust},
         )
-        scorer.register("standard", standard)
-        scorer.register("robust", robust)
-        return scorer.start()
+        pool = WorkerPool(
+            DeploymentBundle(directory),
+            num_workers=num_workers,
+            policy=policy,
+            mp_context=mp_context,
+        )
+        pool.start()
+        server = ScoringServer(
+            pool, host=host, port=port, owns_scorer=True,
+            log_path=log_path, cleanup=cleanup,
+        )
+        return server.start()
 
     def describe(self) -> Dict[str, object]:
         return {

@@ -18,7 +18,12 @@ from .metrics import (
     score_monitor,
 )
 from .reporting import format_rate, format_results_table, format_table
-from .service_report import format_service_report, measure_streaming_throughput
+from .service_report import (
+    format_scaling_report,
+    format_service_report,
+    measure_remote_throughput,
+    measure_streaming_throughput,
+)
 from .sweep import bit_width_sweep, delta_sweep, layer_sweep, method_sweep
 
 __all__ = [
@@ -35,7 +40,9 @@ __all__ = [
     "format_table",
     "format_rate",
     "format_results_table",
+    "format_scaling_report",
     "format_service_report",
+    "measure_remote_throughput",
     "measure_streaming_throughput",
     "delta_sweep",
     "method_sweep",

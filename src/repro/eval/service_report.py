@@ -20,7 +20,12 @@ import numpy as np
 from ..exceptions import ConfigurationError
 from .reporting import format_table
 
-__all__ = ["format_service_report", "measure_streaming_throughput"]
+__all__ = [
+    "format_scaling_report",
+    "format_service_report",
+    "measure_remote_throughput",
+    "measure_streaming_throughput",
+]
 
 
 def _format_seconds(seconds: float) -> str:
@@ -44,12 +49,14 @@ def format_service_report(
         ["micro-batches", snapshot.get("batches", 0)],
         ["mean batch size", f"{snapshot.get('mean_batch_size', 0.0):.1f}"],
         ["max batch size", snapshot.get("max_batch_size", 0)],
-        [
-            "flushes (size / deadline / drain)",
-            f"{reasons.get('size', 0)} / {reasons.get('deadline', 0)} / "
-            f"{reasons.get('drain', 0)}",
-        ],
     ]
+    if isinstance(reasons, Mapping):
+        # Render whatever reasons the front-end actually recorded ("size",
+        # "deadline", "drain", the pool's "adaptive", anything future) —
+        # hard-coding the key set here is how new reasons go invisible.
+        labels = " / ".join(str(reason) for reason in reasons)
+        counts = " / ".join(str(count) for count in reasons.values())
+        rows.append([f"flushes ({labels})", counts])
     for key, label in (
         ("latency_mean_s", "latency mean"),
         ("latency_p50_s", "latency p50"),
@@ -95,3 +102,81 @@ def measure_streaming_throughput(
         "frames_per_second": len(results) / elapsed if elapsed > 0 else float("inf"),
         "mean_seconds_per_frame": elapsed / len(results),
     }
+
+
+def measure_remote_throughput(
+    client,
+    frames: np.ndarray,
+    burst_size: int = 0,
+    timeout: Optional[float] = None,
+) -> Dict[str, float]:
+    """Replay ``frames`` through a socket client and measure throughput.
+
+    The remote twin of :func:`measure_streaming_throughput`: each burst goes
+    out as one pipelined :meth:`~repro.serving.ScoringClient.score_async`
+    request (so the connection keeps many bursts in flight, exactly how a
+    deployment drives the server), then all responses are awaited.  Returns
+    the same metric dict, so scaling reports can mix local and remote rows.
+    """
+    frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+    if frames.shape[0] == 0:
+        raise ConfigurationError("throughput measurement needs at least one frame")
+    if burst_size < 0:
+        raise ConfigurationError("burst_size must be non-negative")
+    burst = frames.shape[0] if burst_size == 0 else int(burst_size)
+    futures = []
+    start = time.perf_counter()
+    for begin in range(0, frames.shape[0], burst):
+        futures.append(client.score_async(frames[begin : begin + burst]))
+    total = 0
+    for future in futures:
+        warns = future.result(timeout)
+        total += len(next(iter(warns.values()))) if warns else 0
+    elapsed = time.perf_counter() - start
+    count = int(frames.shape[0])
+    return {
+        "frames": float(count),
+        "frames_resolved": float(total),
+        "wall_time_s": elapsed,
+        "frames_per_second": count / elapsed if elapsed > 0 else float("inf"),
+        "mean_seconds_per_frame": elapsed / count,
+    }
+
+
+def format_scaling_report(
+    measurements: Mapping[str, Mapping[str, float]],
+    baseline: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Tabulate throughput measurements side by side with speedup factors.
+
+    ``measurements`` maps a configuration label (e.g. ``"in-process"``,
+    ``"remote w=4"``) to a metric dict from either measurement helper.
+    ``baseline`` names the row every speedup is computed against (defaults
+    to the first row).
+    """
+    if not measurements:
+        raise ConfigurationError("scaling report needs at least one measurement")
+    labels = list(measurements)
+    base_label = baseline if baseline is not None else labels[0]
+    if base_label not in measurements:
+        raise ConfigurationError(f"baseline '{base_label}' is not a measured row")
+    base_fps = float(measurements[base_label]["frames_per_second"])
+    rows = []
+    for label in labels:
+        metrics = measurements[label]
+        fps = float(metrics["frames_per_second"])
+        rows.append(
+            [
+                label,
+                f"{int(metrics['frames'])}",
+                _format_seconds(float(metrics["wall_time_s"])),
+                f"{fps:.0f}",
+                f"{fps / base_fps:.2f}x" if base_fps > 0 else "n/a",
+            ]
+        )
+    return format_table(
+        ["configuration", "frames", "wall time", "frames/s", f"vs {base_label}"],
+        rows,
+        title=title or "Scoring throughput scaling",
+    )

@@ -60,3 +60,35 @@ class ServiceOverloadedError(ReproError):
     queue bound exists so that a stalled scoring thread surfaces as an error
     at the submission site instead of as unbounded memory growth.
     """
+
+
+class ProtocolError(ReproError):
+    """Raised when a wire frame of the scoring protocol is malformed.
+
+    Covers bad magic bytes, unsupported protocol versions, unknown frame
+    types, truncated/garbled payload encodings, and payloads that exceed the
+    negotiated size bound.  A peer that raises this must treat the byte
+    stream as unsynchronised and close the connection — after a framing
+    error there is no way to find the start of the next frame.
+    """
+
+
+class RemoteScoringError(ReproError):
+    """Raised when a remote scoring request fails server-side or in transit.
+
+    The client raises it for transport failures (connection lost mid-
+    request) and for server ``internal`` error frames; more specific typed
+    error frames surface as their local exception classes
+    (:class:`ServiceOverloadedError`, :class:`ServiceClosedError`,
+    :class:`ShapeError`, :class:`ProtocolError`).
+    """
+
+
+class WorkerCrashError(RemoteScoringError):
+    """Raised when a scoring worker process died and its work was lost.
+
+    The pool re-queues frames claimed by a crashed worker, so under normal
+    operation a crash is invisible to producers; this error surfaces only
+    when the restart budget is exhausted and accepted frames can no longer
+    be scored.
+    """

@@ -199,7 +199,7 @@ class ServiceStats:
         self.frames_failed = 0
         self.frames_cancelled = 0
         self.batches = 0
-        self.flush_reasons = {"size": 0, "deadline": 0, "drain": 0}
+        self.flush_reasons = {"size": 0, "adaptive": 0, "deadline": 0, "drain": 0}
         self.max_batch_size = 0
         self._latencies: "deque[float]" = deque(maxlen=int(latency_window))
 
@@ -213,7 +213,12 @@ class ServiceStats:
     ) -> None:
         with self._lock:
             self.batches += 1
-            self.flush_reasons[reason] += 1
+            # Total over *any* reason string: a KeyError here would abort the
+            # critical section half-applied (batches bumped, reason/latency
+            # state not) and kill the recording scorer thread — front-ends
+            # introduce new flush reasons (e.g. the pool's "adaptive") and the
+            # ledger must absorb them, not crash on them.
+            self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
             self.max_batch_size = max(self.max_batch_size, size)
             if failed:
                 self.frames_failed += size

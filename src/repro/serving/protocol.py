@@ -1,0 +1,307 @@
+"""Length-prefixed binary wire protocol of the scoring service.
+
+The out-of-process scorer speaks a deliberately small, stdlib-only protocol
+over TCP.  Every message is one *frame*::
+
+    magic(2) | version(1) | type(1) | request_id(8, BE) | payload_len(4, BE) | payload
+
+``request_id`` is chosen by the requester and echoed verbatim in the
+response, which is what makes request *pipelining* possible: a client may
+have any number of SCORE requests in flight on one connection and match
+responses by id, in whatever order the server finishes them.
+
+Payloads are a 4-byte big-endian JSON-header length, the UTF-8 JSON header,
+then raw array bytes — numpy arrays travel as their C-contiguous buffer
+next to a ``dtype``/``shape`` description, so a score request never pays
+pickling or base64 overhead.  Everything in this module is pure
+bytes-in/bytes-out (no sockets), which keeps the codec property-testable:
+``tests/serving/test_protocol.py`` round-trips random frame batches through
+:class:`FrameDecoder` under arbitrary chunk boundaries.
+
+Error responses are *typed*: the payload carries a stable ``code`` that
+:func:`error_to_exception` maps back onto the library's exception hierarchy,
+so a client sees the same exception class it would have seen calling the
+in-process scorer directly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..exceptions import (
+    ProtocolError,
+    RemoteScoringError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    ShapeError,
+    WorkerCrashError,
+)
+
+__all__ = [
+    "DEFAULT_MAX_PAYLOAD",
+    "PROTOCOL_VERSION",
+    "Frame",
+    "FrameDecoder",
+    "FrameType",
+    "decode_error",
+    "decode_json",
+    "decode_result",
+    "decode_score_request",
+    "encode_error",
+    "encode_frame",
+    "encode_json",
+    "encode_result",
+    "encode_score_request",
+    "error_to_exception",
+    "exception_to_code",
+]
+
+MAGIC = b"RS"
+PROTOCOL_VERSION = 1
+
+#: Default bound on a single frame's payload (requests *and* responses).
+#: 64 MiB holds a ~1000-frame micro-burst of 8k-feature float64 rows; a
+#: length prefix above the bound is rejected before any allocation, so a
+#: garbled or malicious prefix cannot make the server reserve gigabytes.
+DEFAULT_MAX_PAYLOAD = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">2sBBQI")
+HEADER_SIZE = _HEADER.size
+_JSON_LEN = struct.Struct(">I")
+
+
+class FrameType(IntEnum):
+    """Wire frame types (requests < 128, responses >= 128)."""
+
+    SCORE = 1
+    PING = 2
+    STATS = 3
+    RESULT = 129
+    ERROR = 130
+    PONG = 131
+    STATS_REPLY = 132
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    type: FrameType
+    request_id: int
+    payload: bytes = b""
+
+    @property
+    def is_response(self) -> bool:
+        return int(self.type) >= 128
+
+
+def encode_frame(frame_type: FrameType, request_id: int, payload: bytes = b"") -> bytes:
+    """Serialise one frame to wire bytes."""
+    if not 0 <= request_id < 2**64:
+        raise ProtocolError(f"request_id {request_id} outside the unsigned 64-bit range")
+    return (
+        _HEADER.pack(MAGIC, PROTOCOL_VERSION, int(frame_type), request_id, len(payload))
+        + payload
+    )
+
+
+class FrameDecoder:
+    """Incremental frame parser over an arbitrary byte-chunk stream.
+
+    ``feed`` accepts whatever the transport produced — half a header, three
+    frames and a tail, one byte — buffers the remainder, and returns every
+    frame completed so far.  Framing violations (bad magic, unknown version,
+    unknown type, payload above ``max_payload``) raise
+    :class:`~repro.exceptions.ProtocolError`; after that the stream has no
+    recoverable frame boundary and the connection must be closed.
+    """
+
+    def __init__(self, max_payload: int = DEFAULT_MAX_PAYLOAD) -> None:
+        self.max_payload = int(max_payload)
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet assembled into a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Buffer ``data`` and return every frame it completed."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            if len(self._buffer) < HEADER_SIZE:
+                return frames
+            magic, version, ftype, request_id, length = _HEADER.unpack_from(self._buffer)
+            if magic != MAGIC:
+                raise ProtocolError(
+                    f"bad frame magic {magic!r} (not a scoring-protocol stream?)"
+                )
+            if version != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {version} "
+                    f"(this peer speaks {PROTOCOL_VERSION})"
+                )
+            try:
+                frame_type = FrameType(ftype)
+            except ValueError as exc:
+                raise ProtocolError(f"unknown frame type {ftype}") from exc
+            if length > self.max_payload:
+                raise ProtocolError(
+                    f"frame payload of {length} bytes exceeds the "
+                    f"{self.max_payload}-byte bound"
+                )
+            if len(self._buffer) < HEADER_SIZE + length:
+                return frames
+            payload = bytes(self._buffer[HEADER_SIZE : HEADER_SIZE + length])
+            del self._buffer[: HEADER_SIZE + length]
+            frames.append(Frame(type=frame_type, request_id=request_id, payload=payload))
+
+
+# ----------------------------------------------------------------------
+# payload codecs: JSON header + raw array bytes
+# ----------------------------------------------------------------------
+def _pack_payload(header: Mapping[str, object], *buffers: bytes) -> bytes:
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join((_JSON_LEN.pack(len(header_bytes)), header_bytes) + buffers)
+
+
+def _unpack_payload(payload: bytes) -> Tuple[dict, bytes]:
+    if len(payload) < _JSON_LEN.size:
+        raise ProtocolError("payload truncated before its JSON header length")
+    (header_len,) = _JSON_LEN.unpack_from(payload)
+    body_start = _JSON_LEN.size + header_len
+    if len(payload) < body_start:
+        raise ProtocolError("payload truncated inside its JSON header")
+    try:
+        header = json.loads(payload[_JSON_LEN.size : body_start].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed payload JSON header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError("payload JSON header must be an object")
+    return header, payload[body_start:]
+
+
+def encode_score_request(frames: np.ndarray) -> bytes:
+    """Payload of a SCORE request: an ``(N, d)`` float64 frame batch."""
+    frames = np.ascontiguousarray(np.atleast_2d(np.asarray(frames, dtype=np.float64)))
+    if frames.ndim != 2:
+        raise ShapeError(f"expected an (N, d) frame batch, got shape {frames.shape}")
+    header = {"dtype": "<f8", "shape": list(frames.shape)}
+    return _pack_payload(header, frames.astype("<f8", copy=False).tobytes())
+
+
+def decode_score_request(payload: bytes) -> np.ndarray:
+    """Frame batch of a SCORE request payload (always owns its memory)."""
+    header, body = _unpack_payload(payload)
+    if header.get("dtype") != "<f8":
+        raise ProtocolError(f"unsupported frame dtype {header.get('dtype')!r}")
+    shape = header.get("shape")
+    if (
+        not isinstance(shape, list)
+        or len(shape) != 2
+        or not all(isinstance(dim, int) and dim >= 0 for dim in shape)
+    ):
+        raise ProtocolError(f"malformed frame shape {shape!r}")
+    expected = shape[0] * shape[1] * 8
+    if len(body) != expected:
+        raise ProtocolError(
+            f"frame body carries {len(body)} bytes, shape {tuple(shape)} needs {expected}"
+        )
+    return np.frombuffer(body, dtype="<f8").reshape(shape).copy()
+
+
+def encode_result(warns: Mapping[str, np.ndarray]) -> bytes:
+    """Payload of a RESULT response: one boolean warn vector per monitor."""
+    names = list(warns)
+    buffers = []
+    count = None
+    for name in names:
+        flags = np.ascontiguousarray(np.asarray(warns[name], dtype=bool))
+        if flags.ndim != 1:
+            raise ShapeError(f"warn vector of '{name}' must be 1-D, got {flags.shape}")
+        if count is None:
+            count = flags.shape[0]
+        elif flags.shape[0] != count:
+            raise ShapeError("all warn vectors of one result must have equal length")
+        buffers.append(flags.astype(np.uint8, copy=False).tobytes())
+    header = {"monitors": names, "count": 0 if count is None else int(count)}
+    return _pack_payload(header, *buffers)
+
+
+def decode_result(payload: bytes) -> Dict[str, np.ndarray]:
+    """Per-monitor boolean warn vectors of a RESULT payload."""
+    header, body = _unpack_payload(payload)
+    names = header.get("monitors")
+    count = header.get("count")
+    if not isinstance(names, list) or not all(isinstance(name, str) for name in names):
+        raise ProtocolError(f"malformed monitor name list {names!r}")
+    if not isinstance(count, int) or count < 0:
+        raise ProtocolError(f"malformed result count {count!r}")
+    if len(body) != count * len(names):
+        raise ProtocolError(
+            f"result body carries {len(body)} bytes, "
+            f"{len(names)} monitors x {count} frames need {count * len(names)}"
+        )
+    out: Dict[str, np.ndarray] = {}
+    for index, name in enumerate(names):
+        flags = np.frombuffer(body, dtype=np.uint8, count=count, offset=index * count)
+        out[name] = flags.astype(bool)
+    return out
+
+
+# ----------------------------------------------------------------------
+# typed error frames
+# ----------------------------------------------------------------------
+#: Stable wire codes <-> local exception classes.  The mapping is the
+#: contract that lets a remote client raise the *same* exception class the
+#: in-process scorer would have raised.
+_CODE_TO_EXCEPTION = {
+    "overloaded": ServiceOverloadedError,
+    "closed": ServiceClosedError,
+    "shape": ShapeError,
+    "protocol": ProtocolError,
+    "worker_crash": WorkerCrashError,
+    "internal": RemoteScoringError,
+}
+
+
+def exception_to_code(exc: BaseException) -> str:
+    """Wire code of ``exc`` (most specific class wins; unknown → internal)."""
+    for code, cls in _CODE_TO_EXCEPTION.items():
+        if type(exc) is cls:
+            return code
+    for code, cls in _CODE_TO_EXCEPTION.items():
+        if isinstance(exc, cls):
+            return code
+    return "internal"
+
+
+def encode_error(code: str, message: str) -> bytes:
+    return _pack_payload({"code": str(code), "message": str(message)})
+
+
+def decode_error(payload: bytes) -> Tuple[str, str]:
+    header, _ = _unpack_payload(payload)
+    return str(header.get("code", "internal")), str(header.get("message", ""))
+
+
+def error_to_exception(code: str, message: str) -> Exception:
+    """Local exception instance for a typed error frame."""
+    return _CODE_TO_EXCEPTION.get(code, RemoteScoringError)(message)
+
+
+def encode_json(data: Mapping[str, object]) -> bytes:
+    """Payload of a STATS reply (or any small JSON-shaped message)."""
+    return _pack_payload(dict(data))
+
+
+def decode_json(payload: bytes) -> dict:
+    header, _ = _unpack_payload(payload)
+    return header

@@ -1,0 +1,129 @@
+"""Shared-memory frame ring: zero-copy batch handover to worker processes.
+
+Sending a micro-batch of float64 frames through a ``multiprocessing.Queue``
+pickles and copies it twice per hop.  The pool instead allocates one
+:mod:`multiprocessing.shared_memory` block, slices it into fixed-size
+*slots* (``max_batch`` rows each), writes each outgoing batch into a free
+slot, and sends only the tiny ``(slot, nrows)`` coordinate over the control
+queue — the worker maps the same block and reads the rows directly.
+
+Slot *accounting* stays entirely on the dispatcher side: a worker never
+frees a slot, the dispatcher releases it when the batch's result (or its
+post-crash re-dispatch decision) has been handled.  That one-owner rule is
+what makes crash recovery safe — a slot written for a worker that died
+still holds the frames, so the batch can be re-queued to a sibling without
+keeping any second copy.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, ShapeError
+
+__all__ = ["SharedFrameRing"]
+
+
+class SharedFrameRing:
+    """Fixed-slot ring of ``(rows, cols)`` float64 frame buffers.
+
+    The creating side (``create=True``) owns the segment and must call
+    :meth:`unlink` exactly once when the pool shuts down; attached sides
+    (worker processes) only :meth:`close` their mapping.
+    """
+
+    DTYPE = np.float64
+
+    def __init__(
+        self,
+        slots: int,
+        rows: int,
+        cols: int,
+        name: Optional[str] = None,
+        create: bool = True,
+    ) -> None:
+        if slots < 1 or rows < 1 or cols < 1:
+            raise ConfigurationError("ring slots, rows and cols must all be positive")
+        self.slots = int(slots)
+        self.rows = int(rows)
+        self.cols = int(cols)
+        self._slot_bytes = self.rows * self.cols * np.dtype(self.DTYPE).itemsize
+        size = self.slots * self._slot_bytes
+        self._owner = bool(create)
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=size, name=name)
+        else:
+            if name is None:
+                raise ConfigurationError("attaching to a ring requires its name")
+            self._shm = shared_memory.SharedMemory(name=name)
+            if self._shm.size < size:
+                self._shm.close()
+                raise ConfigurationError(
+                    f"shared segment '{name}' is {self._shm.size} bytes, ring "
+                    f"geometry needs {size}"
+                )
+            # NB: attaching registers the segment with the resource tracker
+            # a second time, but worker processes inherit the *parent's*
+            # tracker (its registry is a name set, so the re-registration
+            # dedupes) — unregistering here would strip the creator's entry
+            # and turn its eventual unlink() into a tracker error.
+        self._view = np.ndarray(
+            (self.slots, self.rows, self.cols), dtype=self.DTYPE, buffer=self._shm.buf
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def attach(cls, name: str, slots: int, rows: int, cols: int) -> "SharedFrameRing":
+        """Map an existing ring created by another process."""
+        return cls(slots, rows, cols, name=name, create=False)
+
+    # ------------------------------------------------------------------
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.slots:
+            raise ConfigurationError(f"slot {slot} outside [0, {self.slots})")
+
+    def write(self, slot: int, frames: np.ndarray) -> int:
+        """Copy ``frames`` into ``slot``; returns the row count written."""
+        self._check_slot(slot)
+        frames = np.atleast_2d(np.asarray(frames, dtype=self.DTYPE))
+        if frames.ndim != 2 or frames.shape[1] != self.cols:
+            raise ShapeError(
+                f"ring slot holds ({self.rows}, {self.cols}) frames, got {frames.shape}"
+            )
+        if frames.shape[0] > self.rows:
+            raise ShapeError(
+                f"batch of {frames.shape[0]} rows exceeds the {self.rows}-row slot"
+            )
+        self._view[slot, : frames.shape[0]] = frames
+        return int(frames.shape[0])
+
+    def read(self, slot: int, nrows: int) -> np.ndarray:
+        """Copy ``nrows`` frames out of ``slot`` (the copy owns its memory)."""
+        self._check_slot(slot)
+        if not 0 <= nrows <= self.rows:
+            raise ShapeError(f"nrows {nrows} outside [0, {self.rows}]")
+        return np.array(self._view[slot, :nrows], dtype=self.DTYPE, copy=True)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's mapping (safe to call twice)."""
+        view, self._view = self._view, None
+        del view
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - second close on some platforms
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only, after every worker detached)."""
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

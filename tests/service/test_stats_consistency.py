@@ -1,0 +1,88 @@
+"""Regression tests for the ServiceStats ledger's consistency guarantees.
+
+The bug pinned here: ``record_batch`` bumped ``batches`` and then indexed
+``flush_reasons[reason]`` directly — an unknown reason string (the pool's
+``"adaptive"``, or any future front-end's) raised ``KeyError`` *inside* the
+critical section, leaving the ledger half-updated (batch counted, reason /
+latency window / scored counters not) and killing the recording thread.
+``record_batch`` must be total over reason strings and atomic under the
+stats lock.
+"""
+
+import threading
+
+import numpy as np
+
+from repro.service.streaming import ServiceStats
+
+
+class TestUnknownReasonTotality:
+    def test_unknown_reason_is_counted_not_fatal(self):
+        stats = ServiceStats()
+        stats.record_batch(4, "some-future-reason", [0.001] * 4, failed=False)
+        snapshot = stats.snapshot()
+        assert snapshot["batches"] == 1
+        assert snapshot["flush_reasons"]["some-future-reason"] == 1
+        assert snapshot["frames_scored"] == 4
+
+    def test_adaptive_reason_is_a_first_class_counter(self):
+        snapshot = ServiceStats().snapshot()
+        assert snapshot["flush_reasons"]["adaptive"] == 0
+
+    def test_no_partial_update_on_any_reason(self):
+        # Every counter the critical section touches must move together:
+        # batches, the reason tally, the latency window and frame counters.
+        stats = ServiceStats()
+        for index, reason in enumerate(["size", "adaptive", "deadline", "drain", "x"]):
+            stats.record_batch(2, reason, [0.001, 0.002], failed=False)
+            snapshot = stats.snapshot()
+            assert snapshot["batches"] == index + 1
+            assert sum(snapshot["flush_reasons"].values()) == index + 1
+            assert snapshot["frames_scored"] == 2 * (index + 1)
+
+    def test_failed_batch_with_unknown_reason(self):
+        stats = ServiceStats()
+        stats.record_batch(3, "weird", [], failed=True)
+        snapshot = stats.snapshot()
+        assert snapshot["frames_failed"] == 3
+        assert snapshot["flush_reasons"]["weird"] == 1
+
+
+class TestLockDiscipline:
+    def test_concurrent_recording_stays_consistent(self):
+        # Hammer the ledger from many threads with every reason kind; the
+        # invariant sum(flush_reasons) == batches must hold at the end —
+        # it breaks if any path mutates outside the lock or dies mid-update.
+        stats = ServiceStats(latency_window=64)
+        reasons = ["size", "adaptive", "deadline", "drain", "novel"]
+        per_thread = 200
+
+        def worker(offset):
+            for i in range(per_thread):
+                reason = reasons[(offset + i) % len(reasons)]
+                stats.record_batch(1, reason, [0.001], failed=(i % 7 == 0))
+                stats.record_submitted(1)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = stats.snapshot()
+        total = 8 * per_thread
+        assert snapshot["batches"] == total
+        assert sum(snapshot["flush_reasons"].values()) == total
+        assert snapshot["frames_scored"] + snapshot["frames_failed"] == total
+        assert snapshot["frames_submitted"] == total
+
+    def test_snapshot_is_a_copy(self):
+        stats = ServiceStats()
+        stats.record_batch(1, "size", [0.001], failed=False)
+        snapshot = stats.snapshot()
+        snapshot["flush_reasons"]["size"] = 999
+        assert stats.snapshot()["flush_reasons"]["size"] == 1
+
+    def test_latency_window_is_bounded(self):
+        stats = ServiceStats(latency_window=8)
+        stats.record_batch(100, "size", list(np.linspace(0.001, 0.1, 100)), failed=False)
+        assert len(stats._latencies) == 8

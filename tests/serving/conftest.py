@@ -1,0 +1,57 @@
+"""Shared fixtures for the out-of-process serving tests.
+
+The tier-1 tests in this package exercise the wire protocol and the socket
+server over the *in-process* streaming scorer (threads only, fast); the
+``slow``-marked tests boot real spawned worker processes from a deployment
+bundle — those are the CI ``service-e2e`` leg.
+"""
+
+import numpy as np
+import pytest
+
+from repro.monitors.builder import MonitorBuilder
+from repro.serving import save_deployment
+from repro.serving.artifacts import DeploymentBundle
+from repro.service import BatchPolicy, StreamingScorer
+
+LAYER = 4  # last hidden activation layer of the 6-10-8-3 tiny network
+
+
+@pytest.fixture(scope="session")
+def serving_monitors(tiny_network, tiny_inputs):
+    """Two fitted monitors of different families on the tiny network."""
+    return {
+        "minmax": MonitorBuilder("minmax", LAYER).build_and_fit(tiny_network, tiny_inputs),
+        "boolean": MonitorBuilder("boolean", LAYER).build_and_fit(tiny_network, tiny_inputs),
+    }
+
+
+@pytest.fixture(scope="session")
+def deployment_dir(tmp_path_factory, tiny_network, serving_monitors):
+    """A saved deployment bundle every pool test boots workers from."""
+    directory = tmp_path_factory.mktemp("deployment")
+    save_deployment(directory, tiny_network, serving_monitors)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def deployment_bundle(deployment_dir):
+    return DeploymentBundle(deployment_dir)
+
+
+@pytest.fixture
+def probe_frames(rng):
+    return rng.normal(size=(48, 6))
+
+
+@pytest.fixture
+def local_scorer(tiny_network, serving_monitors):
+    """A started in-process scorer serving the session monitors."""
+    scorer = StreamingScorer(
+        tiny_network, policy=BatchPolicy(max_batch=16, max_latency=0.002)
+    )
+    for name, monitor in serving_monitors.items():
+        scorer.register(name, monitor)
+    scorer.start()
+    yield scorer
+    scorer.close(drain=False)

@@ -1,0 +1,68 @@
+"""Deployment bundle tests: the artefact unit worker processes boot from."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.serving import DeploymentBundle, save_deployment
+from repro.serving.artifacts import MANIFEST_NAME
+
+
+class TestSaveDeployment:
+    def test_writes_manifest_and_artifacts(self, tmp_path, tiny_network, serving_monitors):
+        manifest = save_deployment(tmp_path, tiny_network, serving_monitors)
+        assert manifest.name == MANIFEST_NAME
+        data = json.loads(manifest.read_text())
+        assert data["input_dim"] == 6
+        assert set(data["monitors"]) == {"minmax", "boolean"}
+        for relative in data["monitors"].values():
+            assert (tmp_path / relative).exists()
+        assert (tmp_path / data["network"]).exists()
+
+    def test_refuses_empty_monitor_set(self, tmp_path, tiny_network):
+        with pytest.raises(SerializationError):
+            save_deployment(tmp_path, tiny_network, {})
+
+
+class TestDeploymentBundle:
+    def test_loads_bit_identical_monitors(
+        self, deployment_bundle, serving_monitors, probe_frames
+    ):
+        network = deployment_bundle.load_network()
+        loaded = deployment_bundle.load_monitors(network)
+        assert set(loaded) == set(serving_monitors)
+        for name, monitor in serving_monitors.items():
+            np.testing.assert_array_equal(
+                loaded[name].warn_batch(probe_frames), monitor.warn_batch(probe_frames)
+            )
+
+    def test_accepts_manifest_path_or_directory(self, deployment_dir):
+        by_dir = DeploymentBundle(deployment_dir)
+        by_manifest = DeploymentBundle(deployment_dir / MANIFEST_NAME)
+        assert by_dir.input_dim == by_manifest.input_dim == 6
+        assert by_dir.monitor_names == by_manifest.monitor_names
+
+    def test_describe(self, deployment_bundle):
+        description = deployment_bundle.describe()
+        assert description["input_dim"] == 6
+        assert sorted(description["monitors"]) == ["boolean", "minmax"]
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            DeploymentBundle(tmp_path)
+
+    def test_missing_artifact_rejected(self, tmp_path, tiny_network, serving_monitors):
+        save_deployment(tmp_path, tiny_network, serving_monitors)
+        (tmp_path / "monitor_minmax.npz").unlink()
+        with pytest.raises(SerializationError, match="minmax"):
+            DeploymentBundle(tmp_path)
+
+    def test_unsupported_format_rejected(self, tmp_path, tiny_network, serving_monitors):
+        manifest = save_deployment(tmp_path, tiny_network, serving_monitors)
+        data = json.loads(manifest.read_text())
+        data["format"] = 99
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(SerializationError, match="format"):
+            DeploymentBundle(tmp_path)
