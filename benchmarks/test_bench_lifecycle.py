@@ -1,0 +1,170 @@
+"""E14 — lifecycle overheads: shadow scoring and incremental refit.
+
+The lifecycle subsystem adds two recurring costs to a deployed monitor:
+
+* **shadow scoring** — a staged candidate scores every live micro-batch to
+  accumulate its disagreement ledger.  The shadow shares the engine pass
+  with the live monitor, so the marginal cost is one extra
+  ``warn_batch_from_layer`` per batch; the acceptance bar is streaming
+  wall time ≤ 1.5× the live-only stream.
+* **incremental refit** — extending the live monitor with a batch of newly
+  observed nominal frames.  The from-scratch alternative refits on the
+  full accumulated history, paying O(total); the incremental path clones
+  the live monitor and folds in only the new batch, paying O(new).
+
+Both paths assert verdict equivalence while timing, and the two headline
+timings feed the CI perf-regression gate.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import format_table
+from repro.lifecycle import incremental_refit
+from repro.monitors import monitor_fingerprint
+from repro.monitors.minmax import MinMaxMonitor
+from repro.service import BatchPolicy, StreamingScorer
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+NUM_FRAMES = 256 if QUICK else 1024
+MAX_BATCH = 64
+BURST = 64
+FUTURE_TIMEOUT = 60.0
+
+#: The refit batch (ISSUE acceptance point: n=512) and the nominal history
+#: already absorbed before it — the full-refit path pays for both.  A
+#: long-running deployment's history dwarfs any one batch; the incremental
+#: path's fixed cost (the clone round-trip) must amortise against that.
+REFIT_BATCH = 128 if QUICK else 512
+REFIT_HISTORY = 8192
+
+
+@pytest.fixture(scope="module")
+def live_monitor(track_workload, track_layer):
+    return MinMaxMonitor(track_workload.network, track_layer).fit(
+        track_workload.train.inputs
+    )
+
+
+@pytest.fixture(scope="module")
+def frame_stream(track_workload):
+    sources = [track_workload.in_odd_eval.inputs] + [
+        dataset.inputs for dataset in track_workload.out_of_odd_eval.values()
+    ]
+    frames = np.vstack(sources)
+    repeats = -(-NUM_FRAMES // frames.shape[0])  # ceil
+    return np.tile(frames, (repeats, 1))[:NUM_FRAMES]
+
+
+@pytest.mark.benchmark(group="E14-lifecycle")
+def test_shadow_scoring_overhead(
+    bench_record, track_workload, live_monitor, frame_stream
+):
+    """Streaming with an attached shadow stays within 1.5× of live-only."""
+    frames = frame_stream
+    candidate = incremental_refit(live_monitor, track_workload.in_odd_eval.inputs)
+    offline = live_monitor.warn_batch(frames)
+    policy = BatchPolicy(max_batch=MAX_BATCH, max_latency=0.002)
+
+    def stream_once(scorer):
+        futures = []
+        for begin in range(0, frames.shape[0], BURST):
+            futures.extend(scorer.submit_many(frames[begin : begin + BURST]))
+        return [future.result(timeout=FUTURE_TIMEOUT) for future in futures]
+
+    with StreamingScorer(track_workload.network, policy=policy) as scorer:
+        scorer.register("mon", live_monitor)
+        results = bench_record.measure(
+            f"_lifecycle_live_only_stream_n{NUM_FRAMES}",
+            lambda: stream_once(scorer),
+            repeats=3,
+        )
+        live_time = bench_record.timings[f"_lifecycle_live_only_stream_n{NUM_FRAMES}"]
+    served = np.array([result.warns["mon"] for result in results])
+    np.testing.assert_array_equal(served, offline)
+
+    with StreamingScorer(track_workload.network, policy=policy) as scorer:
+        scorer.register("mon", live_monitor)
+        shadow = scorer.attach_shadow("mon@shadow", candidate, "mon")
+        results = bench_record.measure(
+            f"lifecycle_shadow_stream_n{NUM_FRAMES}",
+            lambda: stream_once(scorer),
+            repeats=3,
+        )
+        shadow_time = bench_record.timings[f"lifecycle_shadow_stream_n{NUM_FRAMES}"]
+        ledger = shadow.ledger.snapshot()
+    served = np.array([result.warns["mon"] for result in results])
+    np.testing.assert_array_equal(served, offline)  # shadows never change verdicts
+    assert ledger["frames"] >= NUM_FRAMES  # and they saw the whole stream
+
+    overhead = shadow_time / live_time
+    bench_record.record("_lifecycle_shadow_overhead_ratio", overhead)
+    print(f"\nE14: shadow scoring overhead ({NUM_FRAMES} frames)")
+    print(
+        format_table(
+            ["path", "wall_ms", "frames/s"],
+            [
+                ["live only", f"{live_time * 1e3:.2f}",
+                 f"{frames.shape[0] / live_time:.0f}"],
+                ["live + shadow", f"{shadow_time * 1e3:.2f}",
+                 f"{frames.shape[0] / shadow_time:.0f}"],
+                ["overhead", f"{overhead:.2f}x", ""],
+            ],
+        )
+    )
+    # Acceptance bar of the lifecycle subsystem (ISSUE 9): shadow scoring
+    # costs at most 50% on top of the live stream.
+    assert overhead <= 1.5, f"shadow overhead {overhead:.2f}x exceeds 1.5x"
+
+
+@pytest.mark.benchmark(group="E14-lifecycle")
+def test_incremental_refit_vs_full_refit(bench_record, track_workload, live_monitor):
+    """Folding in one new batch beats refitting on the whole history."""
+    rng = np.random.default_rng(7)
+    width = track_workload.train.inputs.shape[1]
+    history = rng.uniform(0.0, 1.0, size=(REFIT_HISTORY, width))
+    batch = rng.uniform(0.0, 1.0, size=(REFIT_BATCH, width))
+    current = incremental_refit(live_monitor, history)
+    full_inputs = np.vstack([track_workload.train.inputs, history, batch])
+
+    incremental = bench_record.measure(
+        f"lifecycle_incremental_refit_n{REFIT_BATCH}",
+        lambda: incremental_refit(current, batch),
+        repeats=3,
+    )
+    incremental_time = bench_record.timings[
+        f"lifecycle_incremental_refit_n{REFIT_BATCH}"
+    ]
+
+    full = bench_record.measure(
+        f"_lifecycle_full_refit_n{full_inputs.shape[0]}",
+        lambda: MinMaxMonitor(
+            track_workload.network, live_monitor.layer_index
+        ).fit(full_inputs),
+        repeats=3,
+    )
+    full_time = bench_record.timings[f"_lifecycle_full_refit_n{full_inputs.shape[0]}"]
+
+    # Same monitor either way (min-max folding is order-insensitive) ...
+    assert monitor_fingerprint(incremental) == monitor_fingerprint(full)
+    speedup = full_time / incremental_time
+    print(f"\nE14: incremental refit (+{REFIT_BATCH} frames, "
+          f"history {full_inputs.shape[0]})")
+    print(
+        format_table(
+            ["path", "wall_ms"],
+            [
+                ["full refit", f"{full_time * 1e3:.2f}"],
+                ["incremental refit", f"{incremental_time * 1e3:.2f}"],
+                ["speedup", f"{speedup:.1f}x"],
+            ],
+        )
+    )
+    # ... but the incremental path never pays for the absorbed history.
+    assert incremental_time < full_time, (
+        f"incremental refit ({incremental_time * 1e3:.2f} ms) should beat "
+        f"full refit ({full_time * 1e3:.2f} ms)"
+    )

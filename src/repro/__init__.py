@@ -25,6 +25,9 @@ of Neuron Activation Patterns" (DATE 2021).  The library provides:
 * :mod:`repro.serving` — the out-of-process face of that service: a
   length-prefixed TCP protocol, deployment bundles, a multi-process worker
   pool fed through shared memory, and the socket server/client pair;
+* :mod:`repro.lifecycle` — the online monitor lifecycle: a versioned
+  artefact store, shadow scoring of candidate monitors on live traffic,
+  atomic promotion/rollback and incremental refit from streamed frames;
 * :mod:`repro.core` — end-to-end pipelines and reference workloads.
 
 Quickstart
@@ -51,6 +54,7 @@ from .exceptions import (
     ConfigurationError,
     DataError,
     LayerIndexError,
+    LifecycleStateError,
     NotFittedError,
     PropagationError,
     ProtocolError,
@@ -60,6 +64,7 @@ from .exceptions import (
     ShapeError,
     WorkerCrashError,
 )
+from .lifecycle import LifecycleManager, MonitorStore
 from .monitors import (
     BooleanPatternMonitor,
     ClassConditionalMonitor,
@@ -94,6 +99,7 @@ __all__ = [
     "ProtocolError",
     "RemoteScoringError",
     "WorkerCrashError",
+    "LifecycleStateError",
     # networks
     "Sequential",
     "mlp",
@@ -121,6 +127,9 @@ __all__ = [
     # service
     "BatchPolicy",
     "StreamingScorer",
+    # lifecycle
+    "LifecycleManager",
+    "MonitorStore",
     # pipelines
     "DEFAULT_PERTURBATION",
     "MonitoringWorkload",

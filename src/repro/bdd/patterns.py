@@ -85,9 +85,12 @@ class PatternSet:
         self._mirror_complete = True
         self._root = FALSE
         self._insertions = 0
-        # Packed-state image awaiting replay into the BDD (lazy cold start;
-        # see from_packed_state).  None once materialised.
-        self._deferred_state: Optional[Dict[str, np.ndarray]] = None
+        # True while the canonical BDD lags behind the packed mirror (lazy
+        # cold start; see from_packed_state).  While deferred, insertions go
+        # to the mirror only and _ensure_bdd replays the *whole* mirror on
+        # first BDD-dependent use — so incremental refit of a format-2
+        # restored set never pays a BDD build it does not need.
+        self._bdd_deferred = False
 
     # ------------------------------------------------------------------
     # bit-index bookkeeping
@@ -146,7 +149,7 @@ class PatternSet:
     @property
     def bdd_materialised(self) -> bool:
         """False while a packed-state restore has not been replayed yet."""
-        return self._deferred_state is None
+        return not self._bdd_deferred
 
     def packed_state(self) -> Dict[str, np.ndarray]:
         """Flat-array image of the set, suitable for ``.npz`` persistence.
@@ -162,9 +165,6 @@ class PatternSet:
                 "the packed mirror is not exact for this set (a non-contiguous "
                 "code set was inserted); packed-state export is unavailable"
             )
-        if self._deferred_state is not None:
-            # Never materialised since restore: the image is the state itself.
-            return {key: value.copy() for key, value in self._deferred_state.items()}
         return self._matcher.export_state()
 
     def set_matcher_backend(self, backend) -> None:
@@ -194,10 +194,13 @@ class PatternSet:
         The packed mirror — which answers every batched membership query —
         is restored directly from the flat arrays, so the set can score
         operational batches immediately.  The canonical BDD is only built
-        (replayed from the same arrays) on first use of a BDD-dependent
-        operation: model counting, Hamming relaxation, word iteration or
-        further insertions.  Cold-starting a deployed monitor therefore
-        pays array I/O instead of one BDD build.
+        (replayed from the mirror itself) on first use of a BDD-dependent
+        operation: model counting, Hamming relaxation or word iteration.
+        Bulk insertions on a deferred set extend the mirror *without*
+        triggering the replay — that is what makes incremental refit of a
+        deployed (format-2 restored) monitor cost array appends instead of
+        a BDD build.  Cold-starting a deployed monitor therefore pays array
+        I/O instead of one BDD build.
         """
         obj = cls(
             num_positions,
@@ -218,22 +221,21 @@ class PatternSet:
         if range_low.shape[0]:
             obj._matcher.add_code_ranges(range_low, range_high)
         total_rows = int(exact.shape[0] + values.shape[0] + range_low.shape[0])
-        if total_rows:
-            obj._deferred_state = {
-                "exact": exact,
-                "ternary_values": values,
-                "ternary_masks": masks,
-                "range_low": range_low,
-                "range_high": range_high,
-            }
+        obj._bdd_deferred = total_rows > 0
         obj._insertions = int(insertions) if insertions is not None else total_rows
         return obj
 
     def _ensure_bdd(self) -> None:
-        """Replay a deferred packed-state image into the canonical BDD."""
-        if self._deferred_state is None:
+        """Replay the packed mirror into the canonical BDD when deferred.
+
+        The replay reads the mirror's *current* exported state, so any bulk
+        insertions performed while deferred are included — the BDD always
+        materialises equal to the mirror, however late.
+        """
+        if not self._bdd_deferred:
             return
-        state, self._deferred_state = self._deferred_state, None
+        self._bdd_deferred = False
+        state = self._matcher.export_state()
         parts: List[int] = []
         exact = state["exact"]
         if exact.shape[0]:
@@ -295,10 +297,10 @@ class PatternSet:
 
     def add_word(self, word: Sequence[int]) -> None:
         """Insert a fully specified word (one integer code per position)."""
-        self._ensure_bdd()
         assignment = self._word_to_assignment(word)
-        cube = self.manager.from_assignment(assignment)
-        self._root = self.manager.apply_or(self._root, cube)
+        if not self._bdd_deferred:
+            cube = self.manager.from_assignment(assignment)
+            self._root = self.manager.apply_or(self._root, cube)
         self._matcher.add_exact_bytes(
             self._row_bytes(
                 self._pack_bits_python(
@@ -318,14 +320,14 @@ class PatternSet:
         words = self._validate_code_matrix(words)
         if words.shape[0] == 0:
             return
-        self._ensure_bdd()
         packed = self.codec.pack_codes(words)
-        unique = np.unique(packed, axis=0)
-        bit_rows = unpack_bool_matrix(unique, self.num_bits)
-        cubes = [self.manager.from_assignment(list(row)) for row in bit_rows]
-        self._root = self.manager.apply_or(
-            self._root, self.manager.disjoin_balanced(cubes)
-        )
+        if not self._bdd_deferred:
+            unique = np.unique(packed, axis=0)
+            bit_rows = unpack_bool_matrix(unique, self.num_bits)
+            cubes = [self.manager.from_assignment(list(row)) for row in bit_rows]
+            self._root = self.manager.apply_or(
+                self._root, self.manager.disjoin_balanced(cubes)
+            )
         self._matcher.add_exact_packed(packed)
         self._insertions += int(words.shape[0])
 
@@ -357,9 +359,9 @@ class PatternSet:
             mask_words[position >> 6] |= 1 << (position & 63)
             if value:
                 value_words[position >> 6] |= 1 << (position & 63)
-        self._ensure_bdd()
-        cube = self.manager.cube(literals)
-        self._root = self.manager.apply_or(self._root, cube)
+        if not self._bdd_deferred:
+            cube = self.manager.cube(literals)
+            self._root = self.manager.apply_or(self._root, cube)
         if len(literals) == self.num_positions:
             self._matcher.add_exact_bytes(self._row_bytes(value_words))
         else:
@@ -383,19 +385,19 @@ class PatternSet:
             raise ConfigurationError(
                 "ternary planes do not match this pattern set's word width"
             )
-        self._ensure_bdd()
-        value_bits = unpack_bool_matrix(planes.values, self.num_bits)
-        mask_bits = unpack_bool_matrix(planes.masks, self.num_bits)
-        cubes = []
-        for value_row, mask_row in zip(value_bits, mask_bits):
-            literals = {
-                int(index): bool(value_row[index])
-                for index in np.nonzero(mask_row)[0]
-            }
-            cubes.append(self.manager.cube(literals))
-        self._root = self.manager.apply_or(
-            self._root, self.manager.disjoin_balanced(cubes)
-        )
+        if not self._bdd_deferred:
+            value_bits = unpack_bool_matrix(planes.values, self.num_bits)
+            mask_bits = unpack_bool_matrix(planes.masks, self.num_bits)
+            cubes = []
+            for value_row, mask_row in zip(value_bits, mask_bits):
+                literals = {
+                    int(index): bool(value_row[index])
+                    for index in np.nonzero(mask_row)[0]
+                }
+                cubes.append(self.manager.cube(literals))
+            self._root = self.manager.apply_or(
+                self._root, self.manager.disjoin_balanced(cubes)
+            )
         self._matcher.add_ternary(planes)
         self._insertions += len(planes)
 
@@ -453,17 +455,18 @@ class PatternSet:
             raise ConfigurationError("code range lower end exceeds upper end")
         if low_codes.shape[0] == 0:
             return
-        self._ensure_bdd()
-        row_bdds = []
-        for low_row, high_row in zip(low_codes, high_codes):
-            row_bdds.append(
-                self._range_row_bdd(
-                    [int(code) for code in low_row], [int(code) for code in high_row]
+        if not self._bdd_deferred:
+            row_bdds = []
+            for low_row, high_row in zip(low_codes, high_codes):
+                row_bdds.append(
+                    self._range_row_bdd(
+                        [int(code) for code in low_row],
+                        [int(code) for code in high_row],
+                    )
                 )
+            self._root = self.manager.apply_or(
+                self._root, self.manager.disjoin_balanced(row_bdds)
             )
-        self._root = self.manager.apply_or(
-            self._root, self.manager.disjoin_balanced(row_bdds)
-        )
         self._matcher.add_code_ranges(low_codes, high_codes)
         self._insertions += int(low_codes.shape[0])
 
@@ -594,8 +597,10 @@ class PatternSet:
         return self.manager.dag_size(self._root)
 
     def is_empty(self) -> bool:
-        # A deferred packed state is only kept when it holds at least one row.
-        return self._deferred_state is None and self._root == FALSE
+        # The deferred flag is only set when the mirror holds at least one
+        # row, and deferred insertions keep it set — so deferred means
+        # non-empty without consulting the BDD.
+        return not self._bdd_deferred and self._root == FALSE
 
     def iterate_words(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
         """Yield the fully specified words of the set as code tuples."""

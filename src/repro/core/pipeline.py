@@ -179,6 +179,7 @@ class MonitorPipeline:
         artifact_dir=None,
         mp_context: str = "spawn",
         log_path=None,
+        lifecycle: bool = False,
         **policy_options,
     ):
         """Fit the pipeline's monitors and return a *started* serving handle.
@@ -203,6 +204,15 @@ class MonitorPipeline:
         :class:`~repro.serving.ScoringClient`; closing the server drains and
         closes the pool too.  ``want_verdicts`` is an in-process-only
         feature (verdict diagnostics do not travel over the wire).
+
+        With ``lifecycle=True`` the deployment is versioned: the fitted
+        monitors go through a :class:`~repro.lifecycle.store.MonitorStore`
+        (under ``artifact_dir``, or the deployment directory) and a
+        :class:`~repro.lifecycle.manager.LifecycleManager` drives
+        stage/shadow/promote/rollback over the running front-end.
+        In-process, the manager is attached as ``scorer.lifecycle``; remote,
+        it is attached to the server (``server.lifecycle``), which also
+        enables the lifecycle control frames for remote clients.
 
         ``policy`` is a :class:`~repro.service.BatchPolicy`; alternatively
         pass its fields (``max_batch=...``, ``max_latency=...``,
@@ -229,8 +239,27 @@ class MonitorPipeline:
                 engine=fit_engine,
                 want_verdicts=want_verdicts,
             )
-            scorer.register("standard", standard)
-            scorer.register("robust", robust)
+            if lifecycle:
+                import shutil
+                import tempfile
+                import weakref
+
+                from ..lifecycle import LifecycleManager, MonitorStore
+
+                if artifact_dir is None:
+                    artifact_dir = tempfile.mkdtemp(prefix="repro-store-")
+                    # The scorer is the deployment's single handle; tie the
+                    # store's lifetime to it (close() has no cleanup hook).
+                    weakref.finalize(
+                        scorer, shutil.rmtree, artifact_dir, True
+                    )
+                manager = LifecycleManager(scorer, MonitorStore(artifact_dir))
+                manager.deploy("standard", standard)
+                manager.deploy("robust", robust)
+                scorer.lifecycle = manager
+            else:
+                scorer.register("standard", standard)
+                scorer.register("robust", robust)
             return scorer.start()
 
         import shutil
@@ -262,9 +291,20 @@ class MonitorPipeline:
             mp_context=mp_context,
         )
         pool.start()
+        manager = None
+        if lifecycle:
+            from ..lifecycle import LifecycleManager, MonitorStore
+
+            manager = LifecycleManager(
+                pool,
+                MonitorStore(directory / "store"),
+                network=self.workload.network,
+            )
+            manager.deploy("standard", standard)
+            manager.deploy("robust", robust)
         server = ScoringServer(
             pool, host=host, port=port, owns_scorer=True,
-            log_path=log_path, cleanup=cleanup,
+            log_path=log_path, cleanup=cleanup, lifecycle=manager,
         )
         return server.start()
 

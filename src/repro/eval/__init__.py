@@ -8,6 +8,7 @@ from .coverage import (
     pattern_space_coverage,
 )
 from .experiments import ExperimentResult, MonitorExperiment, compare_monitors
+from .lifecycle_report import format_lifecycle_report, format_shadow_report
 from .metrics import (
     ConfusionCounts,
     MonitorScore,
@@ -40,8 +41,10 @@ __all__ = [
     "format_table",
     "format_rate",
     "format_results_table",
+    "format_lifecycle_report",
     "format_scaling_report",
     "format_service_report",
+    "format_shadow_report",
     "measure_remote_throughput",
     "measure_streaming_throughput",
     "delta_sweep",

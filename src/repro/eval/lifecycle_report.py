@@ -1,0 +1,115 @@
+"""Human-readable reports for the monitor-lifecycle subsystem.
+
+:mod:`repro.lifecycle` snapshots are JSON-able dicts (they travel over the
+serving wire); this module renders them in the same table style as the
+experiment and service reports:
+
+- :func:`format_lifecycle_report` — one row per stored version of every
+  managed monitor, with its state-machine position (shadow / candidate /
+  live / retired) and the live pointer;
+- :func:`format_shadow_report` — the agreement/disagreement ledgers of the
+  attached shadow scorers, the evidence a promotion guard reads.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..exceptions import ConfigurationError
+from .reporting import format_table
+
+__all__ = ["format_lifecycle_report", "format_shadow_report"]
+
+
+def format_lifecycle_report(
+    status: Mapping[str, object], title: Optional[str] = None
+) -> str:
+    """Render a :meth:`LifecycleManager.status` snapshot as a table.
+
+    Accepts the exact dict :meth:`~repro.lifecycle.manager.LifecycleManager.status`
+    returns (also what :meth:`~repro.serving.ScoringClient.lifecycle_status`
+    receives over the wire), so local and remote operators read the same
+    report.
+    """
+    monitors = status.get("monitors")
+    if not isinstance(monitors, Mapping):
+        raise ConfigurationError(
+            "expected a LifecycleManager.status() snapshot with a 'monitors' map"
+        )
+    rows = []
+    for name in sorted(monitors):
+        entry = monitors[name]
+        live = entry.get("live")
+        versions = entry.get("versions", {})
+        stored = entry.get("stored_versions", [])
+        staged = entry.get("staged")
+        # Keys arrive as ints locally and as strings after a JSON round
+        # trip; normalise so both render identically.
+        states = {int(version): state for version, state in versions.items()}
+        for version in sorted(set(states) | {int(v) for v in stored}):
+            state = states.get(version, "stored")
+            notes = []
+            if live is not None and int(live) == version:
+                notes.append("serving")
+            if staged and int(staged.get("version", -1)) == version:
+                notes.append("staged")
+            if entry.get("watch") and state == "live":
+                notes.append(f"watched by {entry['watch']}")
+            rows.append([name, f"v{version}", state, ", ".join(notes) or "-"])
+    if not rows:
+        rows.append(["(none)", "-", "-", "-"])
+    front_end = status.get("front_end", "?")
+    return format_table(
+        ["monitor", "version", "state", "notes"],
+        rows,
+        title=title or f"Monitor lifecycle ({front_end})",
+    )
+
+
+def format_shadow_report(
+    reports: Mapping[str, Mapping[str, object]], title: Optional[str] = None
+) -> str:
+    """Render :meth:`LifecycleManager.shadow_report` ledgers as a table.
+
+    One row per attached shadow: the compared population, the agreement /
+    disagreement split (``shadow_only`` — candidate warned alone,
+    ``live_only`` — live warned alone), the running disagreement rate and
+    whether the budget is breached.
+    """
+    rows = []
+    for shadow_name in sorted(reports):
+        entry = reports[shadow_name]
+        ledger = entry.get("ledger", {})
+        budget = ledger.get("disagreement_budget")
+        rows.append(
+            [
+                shadow_name,
+                str(entry.get("live", "?")),
+                ledger.get("frames", 0),
+                ledger.get("both_warn", 0),
+                ledger.get("both_accept", 0),
+                ledger.get("shadow_only", 0),
+                ledger.get("live_only", 0),
+                f"{float(ledger.get('disagreement_rate', 0.0)):.4f}",
+                "-" if budget is None else f"{float(budget):.4f}",
+                "yes" if ledger.get("breached") else "no",
+            ]
+        )
+    if not rows:
+        rows.append(["(no shadows attached)"] + ["-"] * 9)
+    return format_table(
+        [
+            "shadow",
+            "trails",
+            "frames",
+            "both warn",
+            "both accept",
+            "shadow only",
+            "live only",
+            "rate",
+            "budget",
+            "breached",
+        ],
+        rows,
+        title=title or "Shadow scoring ledgers",
+    )

@@ -57,6 +57,13 @@ def format_service_report(
         labels = " / ".join(str(reason) for reason in reasons)
         counts = " / ".join(str(count) for count in reasons.values())
         rows.append([f"flushes ({labels})", counts])
+    events = snapshot.get("event_counts", {})
+    if isinstance(events, Mapping) and events:
+        # Registry churn: register/promote/rollback/attach_shadow/… — the
+        # lifecycle side of the ledger, same open-key treatment as reasons.
+        labels = " / ".join(str(kind) for kind in sorted(events))
+        counts = " / ".join(str(events[kind]) for kind in sorted(events))
+        rows.append([f"events ({labels})", counts])
     for key, label in (
         ("latency_mean_s", "latency mean"),
         ("latency_p50_s", "latency p50"),

@@ -49,6 +49,17 @@ class DataError(ReproError):
     """Raised when a dataset is malformed or a generator is misconfigured."""
 
 
+class LifecycleStateError(ConfigurationError):
+    """Raised on an invalid monitor-lifecycle operation.
+
+    Covers illegal state transitions (promoting a monitor that was never
+    staged, retiring twice), unknown artefact-store versions, and lifecycle
+    control operations against a front-end that cannot support them (e.g.
+    attaching a shadow to a worker pool, whose members live in other
+    processes).
+    """
+
+
 class ServiceClosedError(ReproError):
     """Raised when a frame is submitted to a closed streaming scorer."""
 

@@ -1,0 +1,48 @@
+"""Online monitor lifecycle: versioned artefacts, shadow scoring, promotion.
+
+The serving stack (``repro.service`` / ``repro.serving``) answers *how* a
+monitor scores live traffic; this package answers *which monitor state* is
+serving, and how that state changes safely while frames are in flight:
+
+* :class:`MonitorStore` — a directory of versioned format-2 artefacts with
+  an atomic manifest: monotone version ids, content fingerprints, a live
+  pointer per name, retention GC and rollback;
+* :class:`ShadowScorer` / :class:`ShadowLedger` — score a candidate on
+  every live micro-batch through the same shared engine pass, record its
+  agreement with the live monitor, serve nothing;
+* :class:`LifecycleManager` — the explicit state machine
+  (shadow → candidate → live → retired) with atomic promotion (quiesce,
+  then registry-snapshot swap: every frame scores against exactly one of
+  {old, new}, the boundary monotone in submission order) and automatic
+  rollback when shadow disagreement exceeds its budget;
+* :func:`incremental_refit` / :class:`RefitAccumulator` — extend a monitor
+  from streamed nominal frames on a *clone* (never the live object), on
+  the packed mirror (never a BDD build), bit-identical to a from-scratch
+  fit on the concatenated data.
+"""
+
+from .manager import (
+    STATE_CANDIDATE,
+    STATE_LIVE,
+    STATE_RETIRED,
+    STATE_SHADOW,
+    LifecycleManager,
+)
+from .refit import RefitAccumulator, clone_monitor, incremental_refit, refit_monitor
+from .shadow import ShadowLedger, ShadowScorer
+from .store import MonitorStore
+
+__all__ = [
+    "STATE_CANDIDATE",
+    "STATE_LIVE",
+    "STATE_RETIRED",
+    "STATE_SHADOW",
+    "LifecycleManager",
+    "MonitorStore",
+    "RefitAccumulator",
+    "ShadowLedger",
+    "ShadowScorer",
+    "clone_monitor",
+    "incremental_refit",
+    "refit_monitor",
+]

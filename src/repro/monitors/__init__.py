@@ -31,6 +31,7 @@ from .encoding import (
     paper_robust_code_set_2bit,
 )
 from .ensemble import MonitorEnsemble
+from .fingerprint import monitor_fingerprint
 from .interval import IntervalPatternMonitor, RobustIntervalPatternMonitor
 from .minmax import MinMaxMonitor, RobustMinMaxMonitor
 from .perturbation import PerturbationSpec, perturbation_estimate, perturbation_estimates
@@ -67,6 +68,7 @@ __all__ = [
     "PatternDistanceMonitor",
     "save_monitor",
     "load_monitor",
+    "monitor_fingerprint",
     "perturbation_estimate",
     "perturbation_estimates",
     "code_of_value",

@@ -32,6 +32,7 @@ from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from ..exceptions import ConfigurationError, NotFittedError
 from ..nn.network import Sequential
+from .fingerprint import monitor_fingerprint
 
 __all__ = ["MonitorRegistry"]
 
@@ -43,6 +44,10 @@ class MonitorRegistry:
         self.network = network
         self._lock = threading.Lock()
         self._monitors: Dict[str, object] = {}
+        #: Lifecycle version per entry (``None`` for unmanaged monitors);
+        #: maintained by register/replace so describe() can attribute
+        #: verdicts to an artefact-store version.
+        self._versions: Dict[str, Optional[int]] = {}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -66,13 +71,19 @@ class MonitorRegistry:
             )
 
     def register(
-        self, name: str, monitor: object, allow_foreign: bool = False
+        self,
+        name: str,
+        monitor: object,
+        allow_foreign: bool = False,
+        version: Optional[int] = None,
     ) -> None:
         """Add a fitted monitor under ``name``.
 
         ``allow_foreign`` acknowledges that ``monitor`` is built on a
         different network than the registry's host and will therefore pay
         its own forward passes instead of sharing the host's cached ones.
+        ``version`` optionally records the lifecycle (artefact-store)
+        version the entry serves, surfaced by :meth:`describe`.
         """
         self._validate_scoreable(name, monitor)
         member_network = getattr(monitor, "network", None)
@@ -92,16 +103,54 @@ class MonitorRegistry:
                     f"a monitor named '{name}' is already registered"
                 )
             self._monitors[name] = monitor
+            self._versions[name] = None if version is None else int(version)
 
     def unregister(self, name: str) -> object:
         """Remove and return the monitor registered under ``name``."""
         with self._lock:
             try:
-                return self._monitors.pop(name)
+                monitor = self._monitors.pop(name)
             except KeyError as exc:
                 raise ConfigurationError(
                     f"no monitor named '{name}' is registered"
                 ) from exc
+            self._versions.pop(name, None)
+            return monitor
+
+    def replace(
+        self, name: str, monitor: object, version: Optional[int] = None
+    ) -> object:
+        """Atomically swap the monitor registered under ``name``.
+
+        The swap happens under the registry lock, so every
+        :meth:`snapshot` observes either the old or the new member — never
+        a gap or a mixture.  Combined with the streaming scorer's FIFO
+        micro-batching this is what makes a lifecycle promotion atomic:
+        each micro-batch scores entirely against one snapshot, and the
+        old→new boundary is monotone in submission order.  Returns the
+        replaced monitor.
+        """
+        self._validate_scoreable(name, monitor)
+        member_network = getattr(monitor, "network", None)
+        if member_network is not None and member_network is not self.network:
+            raise ConfigurationError(
+                f"replacement monitor '{name}' is built on a different "
+                "network than the registry's host"
+            )
+        with self._lock:
+            if name not in self._monitors:
+                raise ConfigurationError(
+                    f"no monitor named '{name}' is registered"
+                )
+            old = self._monitors[name]
+            self._monitors[name] = monitor
+            self._versions[name] = None if version is None else int(version)
+            return old
+
+    def version(self, name: str) -> Optional[int]:
+        """Lifecycle version of an entry (``None`` when unmanaged)."""
+        with self._lock:
+            return self._versions.get(name)
 
     def get(self, name: str) -> Optional[object]:
         with self._lock:
@@ -151,18 +200,27 @@ class MonitorRegistry:
         return iter(self.names())
 
     def describe(self) -> Dict[str, object]:
-        snapshot = self.snapshot()
-        return {
-            "num_monitors": len(snapshot),
-            "monitors": {
-                name: (
-                    monitor.describe()
-                    if callable(getattr(monitor, "describe", None))
-                    else type(monitor).__name__
-                )
-                for name, monitor in snapshot.items()
-            },
-        }
+        """Identity-bearing description of every entry.
+
+        Each entry carries a stable content fingerprint and its lifecycle
+        version (when managed), so STATS frames and ``ServiceStats``
+        snapshots can attribute served verdicts to one monitor state —
+        "robust warned" becomes "robust@v3 (fingerprint abc…) warned".
+        """
+        with self._lock:
+            snapshot = dict(self._monitors)
+            versions = dict(self._versions)
+        monitors: Dict[str, object] = {}
+        for name, monitor in snapshot.items():
+            entry: Dict[str, object] = {
+                "class": type(monitor).__name__,
+                "fingerprint": monitor_fingerprint(monitor),
+                "version": versions.get(name),
+            }
+            if callable(getattr(monitor, "describe", None)):
+                entry["detail"] = monitor.describe()
+            monitors[name] = entry
+        return {"num_monitors": len(snapshot), "monitors": monitors}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MonitorRegistry(names={list(self.names())})"

@@ -192,7 +192,7 @@ class ServiceStats:
     averaging over its whole uptime.
     """
 
-    def __init__(self, latency_window: int = 4096) -> None:
+    def __init__(self, latency_window: int = 4096, event_window: int = 256) -> None:
         self._lock = threading.Lock()
         self.frames_submitted = 0
         self.frames_scored = 0
@@ -202,6 +202,10 @@ class ServiceStats:
         self.flush_reasons = {"size": 0, "adaptive": 0, "deadline": 0, "drain": 0}
         self.max_batch_size = 0
         self._latencies: "deque[float]" = deque(maxlen=int(latency_window))
+        # Registry-churn ledger: timestamped register/unregister/promote/...
+        # events, bounded so a long-lived service keeps *recent* history.
+        self._events: "deque[Dict[str, object]]" = deque(maxlen=int(event_window))
+        self.event_counts: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def record_submitted(self, count: int) -> None:
@@ -230,6 +234,32 @@ class ServiceStats:
         with self._lock:
             self.frames_cancelled += count
 
+    def record_event(self, kind: str, name: str, **detail: object) -> None:
+        """Record one registry-churn event (register/unregister/promote/…).
+
+        Events are timestamped with wall-clock time (they are audit trail,
+        not latency data) and kept in a bounded ledger, so a promotion is
+        visible in stats snapshots and ``format_service_report`` next to
+        the flush-reason table without unbounded growth.
+        """
+        event: Dict[str, object] = {
+            "time": time.time(),
+            "kind": str(kind),
+            "name": str(name),
+        }
+        if detail:
+            event.update(detail)
+        with self._lock:
+            self._events.append(event)
+            self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+
+    def in_flight(self) -> int:
+        """Frames submitted but not yet scored, failed or cancelled."""
+        with self._lock:
+            return self.frames_submitted - (
+                self.frames_scored + self.frames_failed + self.frames_cancelled
+            )
+
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:
         """Consistent copy of all counters plus derived latency statistics."""
@@ -248,6 +278,8 @@ class ServiceStats:
                 "mean_batch_size": (
                     (scored + self.frames_failed) / batches if batches else 0.0
                 ),
+                "event_counts": dict(self.event_counts),
+                "events": [dict(event) for event in self._events],
             }
         if latencies.size:
             summary["latency_mean_s"] = float(latencies.mean())
@@ -308,6 +340,10 @@ class StreamingScorer:
         self.want_verdicts = bool(want_verdicts)
         self.cache_batches = bool(cache_batches)
         self.stats = ServiceStats()
+        #: Optional :class:`~repro.lifecycle.manager.LifecycleManager` over
+        #: this scorer; :meth:`MonitorPipeline.serve(lifecycle=True)
+        #: <repro.core.pipeline.MonitorPipeline.serve>` attaches one.
+        self.lifecycle = None
         self._clock = clock
         self._batcher = MicroBatcher(self.policy)
         self._lock = threading.Lock()
@@ -324,13 +360,89 @@ class StreamingScorer:
     def network(self) -> Sequential:
         return self.engine.network
 
-    def register(self, name: str, monitor, allow_foreign: bool = False) -> None:
+    def register(
+        self,
+        name: str,
+        monitor,
+        allow_foreign: bool = False,
+        version: Optional[int] = None,
+    ) -> None:
         """Register a fitted monitor to be scored on every streamed frame."""
-        self.registry.register(name, monitor, allow_foreign=allow_foreign)
+        self.registry.register(
+            name, monitor, allow_foreign=allow_foreign, version=version
+        )
+        self.stats.record_event("register", name, version=version)
 
     def unregister(self, name: str):
         """Retire a monitor; in-flight batches still include it."""
-        return self.registry.unregister(name)
+        monitor = self.registry.unregister(name)
+        self.stats.record_event("unregister", name)
+        return monitor
+
+    def replace(self, name: str, monitor, version: Optional[int] = None):
+        """Atomically swap the monitor served under ``name``.
+
+        Delegates to :meth:`MonitorRegistry.replace`: every micro-batch
+        scores entirely against the old or the new member, and the FIFO
+        batch order makes the old→new verdict boundary monotone in
+        submission order.  Returns the replaced monitor.
+        """
+        old = self.registry.replace(name, monitor, version=version)
+        self.stats.record_event("promote", name, version=version)
+        return old
+
+    def attach_shadow(
+        self,
+        name: str,
+        candidate,
+        live_name: str,
+        disagreement_budget: Optional[float] = None,
+        min_frames: int = 64,
+        on_breach=None,
+    ):
+        """Score ``candidate`` in *shadow* of the live monitor ``live_name``.
+
+        The candidate is wrapped in a
+        :class:`~repro.lifecycle.shadow.ShadowScorer` and registered under
+        ``name``: it scores every live micro-batch through the same shared
+        engine pass as the live members, but its verdicts are diverted into
+        an agreement/disagreement ledger instead of being served.  Returns
+        the shadow wrapper (its ``ledger`` holds the running confusion).
+        """
+        from ..lifecycle.shadow import ShadowScorer
+
+        if live_name not in self.registry:
+            raise ConfigurationError(
+                f"cannot shadow '{live_name}': no such live monitor"
+            )
+        shadow = ShadowScorer(
+            name,
+            candidate,
+            live_name,
+            disagreement_budget=disagreement_budget,
+            min_frames=min_frames,
+            on_breach=on_breach,
+        )
+        self.registry.register(name, shadow)
+        self.stats.record_event("attach_shadow", name, live=live_name)
+        return shadow
+
+    def detach_shadow(self, name: str):
+        """Remove a shadow entry; returns the wrapped candidate monitor."""
+        entry = self.registry.get(name)
+        if entry is None or not getattr(entry, "is_shadow", False):
+            raise ConfigurationError(f"no shadow monitor named '{name}' is attached")
+        self.registry.unregister(name)
+        self.stats.record_event("detach_shadow", name)
+        return entry.candidate
+
+    def shadow_names(self) -> List[str]:
+        """Names of the currently attached shadow entries."""
+        return [
+            name
+            for name, monitor in self.registry.snapshot().items()
+            if getattr(monitor, "is_shadow", False)
+        ]
 
     def set_matcher_backend(self, backend):
         """Switch every hosted monitor's matcher kernel mid-stream.
@@ -387,6 +499,35 @@ class StreamingScorer:
             self.stats.record_cancelled(cancelled)
         if worker is not None:
             worker.join(timeout)
+
+    def quiesce(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted frame has resolved (or ``timeout``).
+
+        Returns True when the pipeline drained.  This is the promotion
+        barrier of the lifecycle manager: quiesce, then swap — every frame
+        submitted before the quiesce began has provably been scored against
+        the pre-swap registry snapshot.
+        """
+        deadline = None if timeout is None else self._clock() + timeout
+        while self.stats.in_flight() > 0:
+            if deadline is not None and self._clock() >= deadline:
+                return False
+            with self._lock:
+                # Nudge the worker: a deadline-pending batch should flush
+                # now rather than keep the quiescing thread waiting.
+                self._wakeup.notify_all()
+            time.sleep(0.001)
+        return True
+
+    def describe(self) -> Dict[str, object]:
+        """Identity snapshot: registry entries with fingerprints/versions."""
+        return {
+            "kind": "streaming_scorer",
+            "registry": self.registry.describe(),
+            "shadows": self.shadow_names(),
+            "max_batch": self.policy.max_batch,
+            "max_latency": self.policy.max_latency,
+        }
 
     def __enter__(self) -> "StreamingScorer":
         return self.start()
@@ -501,6 +642,11 @@ class StreamingScorer:
             return
         inputs = np.vstack([request.frame for request in requests])
         monitors = self.registry.snapshot()
+        shadows = [
+            monitor
+            for monitor in monitors.values()
+            if getattr(monitor, "is_shadow", False)
+        ]
         try:
             score = self.engine.score_batch(
                 monitors,
@@ -508,6 +654,16 @@ class StreamingScorer:
                 want_verdicts=self.want_verdicts,
                 use_cache=self.cache_batches,
             )
+            # Shadow verdicts are diverted into their ledgers (confusion vs
+            # the live monitor they trail) and stripped from the served
+            # results — a shadow candidate is *observed*, never served.
+            for shadow in shadows:
+                shadow.observe(
+                    score.warns.pop(shadow.name),
+                    score.warns.get(shadow.live_name),
+                )
+                if self.want_verdicts:
+                    score.verdicts.pop(shadow.name, None)
             results = []
             for row in range(len(requests)):
                 warns = {

@@ -20,7 +20,7 @@ Verdicts over the wire are bit-identical to offline
 serialized artefacts the offline path round-trips through.
 """
 
-from .artifacts import DeploymentBundle, save_deployment
+from .artifacts import DeploymentBundle, save_deployment, update_monitor_artifact
 from .client import AsyncScoringClient, ScoringClient
 from .pool import AdaptiveBatcher, WorkerPool
 from .protocol import (
@@ -57,4 +57,5 @@ __all__ = [
     "encode_result",
     "encode_score_request",
     "save_deployment",
+    "update_monitor_artifact",
 ]

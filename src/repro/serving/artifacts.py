@@ -15,6 +15,8 @@ saved from — which is what makes remote verdicts provably equal to offline
 from __future__ import annotations
 
 import json
+import os
+import shutil
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Union
 
@@ -23,7 +25,7 @@ from ..monitors.serialization import load_monitor, save_monitor
 from ..nn.network import Sequential
 from ..nn.serialization import load_network, save_network
 
-__all__ = ["DeploymentBundle", "save_deployment"]
+__all__ = ["DeploymentBundle", "save_deployment", "update_monitor_artifact"]
 
 MANIFEST_NAME = "manifest.json"
 _MANIFEST_FORMAT = 1
@@ -61,6 +63,38 @@ def save_deployment(
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return manifest_path
+
+
+def update_monitor_artifact(
+    bundle: "DeploymentBundle", name: str, source
+) -> Path:
+    """Atomically replace one monitor artefact of a deployed bundle.
+
+    ``source`` is either a path to an existing format-2 archive (e.g. a
+    :class:`~repro.lifecycle.store.MonitorStore` version, which is copied,
+    never moved) or a fitted monitor to serialise in place.  The new bytes
+    are written to a temporary sibling and ``os.replace``d over the
+    bundle's artefact, so a worker (re)booting from the bundle at any
+    moment sees either the old archive or the new one — never a torn file.
+    The manifest is untouched: lifecycle promotion swaps *content* under a
+    stable name, it does not add or remove names.
+    """
+    if name not in bundle.monitor_paths:
+        raise SerializationError(
+            f"bundle under {bundle.directory} serves no monitor named "
+            f"'{name}' (has: {list(bundle.monitor_paths)})"
+        )
+    target = bundle.monitor_paths[name]
+    tmp_path = target.parent / f".{target.stem}.swap.npz"
+    if isinstance(source, (str, Path)):
+        source = Path(source)
+        if not source.exists():
+            raise SerializationError(f"replacement artefact missing: {source}")
+        shutil.copyfile(source, tmp_path)
+    else:
+        save_monitor(source, tmp_path, format=2)
+    os.replace(tmp_path, target)
+    return target
 
 
 class DeploymentBundle:

@@ -145,6 +145,8 @@ class ScoringClient:
                 future.set_result(frame.payload)
             elif frame.type == protocol.FrameType.STATS_REPLY:
                 future.set_result(protocol.decode_json(frame.payload))
+            elif frame.type == protocol.FrameType.LIFECYCLE_REPLY:
+                future.set_result(protocol.decode_json(frame.payload))
             else:
                 future.set_exception(
                     ProtocolError(f"unexpected response frame type {frame.type.name}")
@@ -236,6 +238,61 @@ class ScoringClient:
         """Server-side stats snapshot (scorer ledger + server counters)."""
         return self._call(protocol.FrameType.STATS, b"", timeout)
 
+    # ------------------------------------------------------------------
+    # lifecycle control (requires a server started with lifecycle=...)
+    # ------------------------------------------------------------------
+    def lifecycle_status(self, timeout: Optional[float] = None) -> dict:
+        """Lifecycle snapshot: per monitor the live version + state machine."""
+        return self._call(protocol.FrameType.LIFECYCLE_STATUS, b"", timeout)
+
+    def promote(
+        self,
+        name: str,
+        guard: bool = True,
+        watch_budget: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Promote the staged version of ``name``; returns ``{name, version}``.
+
+        A guarded promotion whose shadow evidence is missing or breached
+        raises :class:`~repro.exceptions.LifecycleStateError` — the same
+        exception an in-process ``LifecycleManager.promote`` raises.
+        """
+        request: dict = {"name": str(name), "guard": bool(guard)}
+        if watch_budget is not None:
+            request["watch_budget"] = float(watch_budget)
+        # No transparent retry: unlike scoring, a promotion mutates server
+        # state — a retry after a lost connection could double-promote.
+        wait = self.timeout if timeout is None else timeout
+        return self._request(
+            protocol.FrameType.PROMOTE, protocol.encode_json(request)
+        ).result(wait)
+
+    def rollback(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Roll ``name`` back to ``version`` (default: the predecessor)."""
+        request: dict = {"name": str(name)}
+        if version is not None:
+            request["version"] = int(version)
+        # Single attempt, like promote: rollback mutates server state.
+        wait = self.timeout if timeout is None else timeout
+        return self._request(
+            protocol.FrameType.ROLLBACK, protocol.encode_json(request)
+        ).result(wait)
+
+    def shadow_report(
+        self, name: Optional[str] = None, timeout: Optional[float] = None
+    ) -> dict:
+        """Agreement/disagreement ledgers of the attached shadow monitors."""
+        request = {} if name is None else {"name": str(name)}
+        return self._call(
+            protocol.FrameType.SHADOW_REPORT, protocol.encode_json(request), timeout
+        )
+
 
 class AsyncScoringClient:
     """Asyncio counterpart of :class:`ScoringClient` (same wire protocol)."""
@@ -308,7 +365,10 @@ class AsyncScoringClient:
                         future.set_exception(protocol.error_to_exception(code, message))
                     elif frame.type == protocol.FrameType.PONG:
                         future.set_result(frame.payload)
-                    elif frame.type == protocol.FrameType.STATS_REPLY:
+                    elif frame.type in (
+                        protocol.FrameType.STATS_REPLY,
+                        protocol.FrameType.LIFECYCLE_REPLY,
+                    ):
                         future.set_result(protocol.decode_json(frame.payload))
         except ProtocolError as exc:
             error = exc
@@ -339,3 +399,30 @@ class AsyncScoringClient:
 
     async def stats(self) -> dict:
         return await self._request(protocol.FrameType.STATS, b"")
+
+    async def lifecycle_status(self) -> dict:
+        return await self._request(protocol.FrameType.LIFECYCLE_STATUS, b"")
+
+    async def promote(
+        self, name: str, guard: bool = True, watch_budget: Optional[float] = None
+    ) -> dict:
+        request: dict = {"name": str(name), "guard": bool(guard)}
+        if watch_budget is not None:
+            request["watch_budget"] = float(watch_budget)
+        return await self._request(
+            protocol.FrameType.PROMOTE, protocol.encode_json(request)
+        )
+
+    async def rollback(self, name: str, version: Optional[int] = None) -> dict:
+        request: dict = {"name": str(name)}
+        if version is not None:
+            request["version"] = int(version)
+        return await self._request(
+            protocol.FrameType.ROLLBACK, protocol.encode_json(request)
+        )
+
+    async def shadow_report(self, name: Optional[str] = None) -> dict:
+        request = {} if name is None else {"name": str(name)}
+        return await self._request(
+            protocol.FrameType.SHADOW_REPORT, protocol.encode_json(request)
+        )

@@ -199,6 +199,13 @@ class WorkerPool:
         self._next_task_id = 0
         self._next_worker_id = 0
         self._restarts = 0
+        # Lifecycle generation: bumped by reload_workers() after an artefact
+        # swap; workers poll it between tasks and reload when behind.
+        self._generation = self._ctx.Value("L", 0)
+        #: Last generation each worker confirmed (via its "ready" boot
+        #: message or a "reloaded" acknowledgement).
+        self._reload_acks: Dict[int, int] = {}
+        self._dispatch_paused = False
         self._pending_chaos: Optional[str] = None
         self._dispatcher: Optional[threading.Thread] = None
         self._collector: Optional[threading.Thread] = None
@@ -239,6 +246,7 @@ class WorkerPool:
                 "ring_slots": self._ring.slots,
                 "max_batch": self.policy.max_batch,
                 "max_latency": self.policy.max_latency,
+                "generation": int(self._generation.value),
             }
 
     # ------------------------------------------------------------------
@@ -255,6 +263,7 @@ class WorkerPool:
             ring_rows=self._ring.rows,
             ring_cols=self._ring.cols,
             matcher_backend=self.matcher_backend,
+            generation=self._generation,
         )
         process = self._ctx.Process(
             target=worker_main,
@@ -420,6 +429,92 @@ class WorkerPool:
         return [request.future for request in requests]
 
     # ------------------------------------------------------------------
+    # lifecycle: artefact swap + generation-gated worker reload
+    # ------------------------------------------------------------------
+    def reload_workers(self, swap=None, timeout: float = 10.0) -> bool:
+        """Reload every worker's monitors from the bundle; True on success.
+
+        The pool half of lifecycle promotion, in strict order:
+
+        1. **pause** dispatch (frames keep queueing in FIFO order);
+        2. **drain** every outstanding batch — in-flight work resolves
+           against the old generation before anything changes;
+        3. **swap** the bundle artefacts named by ``swap`` (a
+           ``{name: path-or-monitor}`` mapping handed to
+           :func:`~repro.serving.artifacts.update_monitor_artifact`, each
+           an atomic ``os.replace``);
+        4. **bump** the shared generation counter and wait until every
+           live worker acknowledged it (idle workers notice within their
+           queue-poll interval; workers spawned mid-reload — e.g. crash
+           replacements — boot from the already-swapped artefacts and
+           acknowledge via their ready message);
+        5. **resume** dispatch.
+
+        Frames dispatched before the pause score the old monitors, frames
+        dispatched after the resume score the new ones — the promotion
+        boundary is monotone in submission order.  Returns False when the
+        drain or the acknowledgements time out (dispatch resumes either
+        way; a False return means generations may be mixed and the caller
+        should retry or roll back).
+        """
+        deadline = self._clock() + float(timeout)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("cannot reload a closed worker pool")
+            if self._broken is not None:
+                raise WorkerCrashError(
+                    f"the worker pool is broken: {self._broken}"
+                ) from self._broken
+            if self._dispatch_paused:
+                raise ConfigurationError("a reload is already in progress")
+            self._dispatch_paused = True
+        try:
+            with self._lock:
+                while self._outstanding and self._broken is None:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        return False
+                    self._wakeup.wait(min(0.05, remaining))
+                if self._broken is not None:
+                    raise WorkerCrashError(
+                        f"the worker pool is broken: {self._broken}"
+                    ) from self._broken
+            if swap:
+                from .artifacts import update_monitor_artifact
+
+                for name, source in dict(swap).items():
+                    update_monitor_artifact(self.bundle, name, source)
+            with self._generation.get_lock():
+                self._generation.value += 1
+                target = int(self._generation.value)
+            _LOG.info("bumped lifecycle generation to %d", target)
+            with self._lock:
+                while self._broken is None:
+                    pending = [
+                        worker_id
+                        for worker_id, process in self._workers.items()
+                        if process.is_alive()
+                        and self._reload_acks.get(worker_id, -1) < target
+                    ]
+                    if not pending:
+                        return True
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        _LOG.warning(
+                            "reload to generation %d timed out waiting for "
+                            "worker(s) %s",
+                            target,
+                            pending,
+                        )
+                        return False
+                    self._wakeup.wait(min(0.05, remaining))
+                return False
+        finally:
+            with self._lock:
+                self._dispatch_paused = False
+                self._wakeup.notify_all()
+
+    # ------------------------------------------------------------------
     # chaos hook (tests): make the next dispatched batch kill its worker
     # ------------------------------------------------------------------
     def inject_worker_crash(self) -> None:
@@ -443,6 +538,12 @@ class WorkerPool:
                         not self._draining or len(self._batcher) == 0
                     ):
                         return
+                    if self._dispatch_paused and not self._closed:
+                        # A lifecycle promotion is in flight: frames keep
+                        # queueing (FIFO), nothing dispatches until the
+                        # workers acknowledge the new generation.
+                        self._wakeup.wait(0.05)
+                        continue
                     now = self._clock()
                     if len(self._batcher) and (self._closed or self._batcher.ready(now)):
                         break
@@ -507,8 +608,21 @@ class WorkerPool:
                 continue
             kind = message[0]
             if kind == "ready":
-                _, worker_id, pid, names = message
+                _, worker_id, pid, names, generation = message
+                with self._lock:
+                    # The boot generation is an implicit reload ack: a worker
+                    # spawned after an artefact swap loaded the new files.
+                    self._reload_acks[worker_id] = int(generation)
+                    self._wakeup.notify_all()
                 _LOG.info("worker %d ready (pid=%d, monitors=%s)", worker_id, pid, names)
+            elif kind == "reloaded":
+                _, worker_id, generation = message
+                with self._lock:
+                    self._reload_acks[worker_id] = max(
+                        self._reload_acks.get(worker_id, 0), int(generation)
+                    )
+                    self._wakeup.notify_all()
+                _LOG.info("worker %d reloaded (generation=%d)", worker_id, generation)
             elif kind == "claim":
                 _, task_id, worker_id = message
                 requeue = None

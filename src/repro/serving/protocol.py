@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Tuple
 import numpy as np
 
 from ..exceptions import (
+    LifecycleStateError,
     ProtocolError,
     RemoteScoringError,
     ServiceClosedError,
@@ -82,10 +83,15 @@ class FrameType(IntEnum):
     SCORE = 1
     PING = 2
     STATS = 3
+    LIFECYCLE_STATUS = 4
+    PROMOTE = 5
+    ROLLBACK = 6
+    SHADOW_REPORT = 7
     RESULT = 129
     ERROR = 130
     PONG = 131
     STATS_REPLY = 132
+    LIFECYCLE_REPLY = 133
 
 
 @dataclass(frozen=True)
@@ -268,6 +274,7 @@ _CODE_TO_EXCEPTION = {
     "shape": ShapeError,
     "protocol": ProtocolError,
     "worker_crash": WorkerCrashError,
+    "lifecycle": LifecycleStateError,
     "internal": RemoteScoringError,
 }
 

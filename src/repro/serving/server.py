@@ -25,7 +25,7 @@ import socketserver
 import threading
 from typing import Callable, Optional, Tuple
 
-from ..exceptions import ProtocolError, ReproError
+from ..exceptions import LifecycleStateError, ProtocolError, ReproError
 from . import protocol
 
 __all__ = ["ScoringServer"]
@@ -90,6 +90,13 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
         _LOG.info("connection from %s:%s closed", *peer)
 
     # ------------------------------------------------------------------
+    _LIFECYCLE_TYPES = (
+        protocol.FrameType.LIFECYCLE_STATUS,
+        protocol.FrameType.PROMOTE,
+        protocol.FrameType.ROLLBACK,
+        protocol.FrameType.SHADOW_REPORT,
+    )
+
     def _dispatch(self, frame: protocol.Frame) -> None:
         if frame.type == protocol.FrameType.PING:
             self._send(protocol.FrameType.PONG, frame.request_id, frame.payload)
@@ -101,11 +108,66 @@ class _ConnectionHandler(socketserver.BaseRequestHandler):
             )
         elif frame.type == protocol.FrameType.SCORE:
             self._handle_score(frame)
+        elif frame.type in self._LIFECYCLE_TYPES:
+            self._handle_lifecycle(frame)
         else:
             self._send_error(
                 frame.request_id,
                 ProtocolError(f"frame type {frame.type.name} is not a request"),
             )
+
+    def _handle_lifecycle(self, frame: protocol.Frame) -> None:
+        """Lifecycle control frames, answered with one LIFECYCLE_REPLY.
+
+        The handlers run on the connection thread: promotion quiesces the
+        scorer (or drains a worker pool), which must not block the scoring
+        path — and does not, since scoring responses are written by future
+        done-callbacks, not by this thread.
+        """
+        manager = self.owner.lifecycle
+        try:
+            if manager is None:
+                raise LifecycleStateError(
+                    "this server has no lifecycle manager attached; start it "
+                    "with ScoringServer(lifecycle=...) or "
+                    "MonitorPipeline.serve(lifecycle=True)"
+                )
+            request = (
+                protocol.decode_json(frame.payload) if frame.payload else {}
+            )
+            if frame.type == protocol.FrameType.LIFECYCLE_STATUS:
+                reply = manager.status()
+            elif frame.type == protocol.FrameType.SHADOW_REPORT:
+                reply = {"shadows": manager.shadow_report(request.get("name"))}
+            elif frame.type == protocol.FrameType.PROMOTE:
+                name = self._request_name(request)
+                version = manager.promote(
+                    name,
+                    guard=bool(request.get("guard", True)),
+                    watch_budget=request.get("watch_budget"),
+                )
+                reply = {"name": name, "version": version}
+            else:  # ROLLBACK
+                name = self._request_name(request)
+                version = manager.rollback(name, request.get("version"))
+                reply = {"name": name, "version": version}
+        except ReproError as exc:
+            self._send_error(frame.request_id, exc)
+            return
+        self._send(
+            protocol.FrameType.LIFECYCLE_REPLY,
+            frame.request_id,
+            protocol.encode_json(reply),
+        )
+
+    @staticmethod
+    def _request_name(request: dict) -> str:
+        name = request.get("name")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError(
+                "lifecycle request payload must carry a monitor 'name'"
+            )
+        return name
 
     def _handle_score(self, frame: protocol.Frame) -> None:
         request_id = frame.request_id
@@ -176,6 +238,11 @@ class ScoringServer:
     cleanup:
         Optional callable invoked once after :meth:`close` (e.g. to remove
         a temporary artefact directory).
+    lifecycle:
+        Optional :class:`~repro.lifecycle.manager.LifecycleManager` over
+        ``scorer``; attaching one enables the lifecycle control frames
+        (LIFECYCLE_STATUS / PROMOTE / ROLLBACK / SHADOW_REPORT), so remote
+        operators drive promotions over the same connection that scores.
     """
 
     def __init__(
@@ -187,8 +254,10 @@ class ScoringServer:
         owns_scorer: bool = False,
         log_path: Optional[str] = None,
         cleanup: Optional[Callable[[], None]] = None,
+        lifecycle=None,
     ) -> None:
         self.scorer = scorer
+        self.lifecycle = lifecycle
         self.max_payload = int(max_payload)
         self.owns_scorer = bool(owns_scorer)
         self.closing = False
@@ -229,6 +298,8 @@ class ScoringServer:
         describe = getattr(self.scorer, "describe", None)
         if callable(describe):
             snapshot["scorer"] = describe()
+        if self.lifecycle is not None:
+            snapshot["lifecycle"] = self.lifecycle.status()
         return snapshot
 
     # ------------------------------------------------------------------

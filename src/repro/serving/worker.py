@@ -14,6 +14,16 @@ pool's shared dispatch queue:
    ``("done", ...)`` with the packed per-monitor warn vectors;
 2. ``("stop",)`` — exit the loop (one sentinel per worker at shutdown).
 
+Workers also watch a shared **generation counter** (``config.generation``,
+a ``multiprocessing.Value`` the pool bumps after atomically swapping a
+bundle artefact): the queue read times out periodically, and a generation
+ahead of the one the monitors were loaded under triggers an in-place
+reload from the bundle, acknowledged with ``("reloaded", worker_id, gen)``.
+That is the worker half of lifecycle promotion — the pool pauses dispatch,
+drains in-flight batches, swaps the artefact, bumps the generation and
+waits for every worker's acknowledgement, so no batch is ever scored by a
+mixture of old- and new-generation workers.
+
 A scoring exception answers ``("fail", ...)`` and the worker lives on; only
 process death (crash, OOM, kill) is handled by the dispatcher's supervision.
 The ``chaos`` field exists for the crash-recovery tests: it makes a worker
@@ -48,6 +58,10 @@ class WorkerConfig:
     ring_rows: int
     ring_cols: int
     matcher_backend: Optional[str] = None
+    #: Shared lifecycle generation counter (``multiprocessing.Value``); a
+    #: bump tells workers to reload their monitors from the bundle.  Shared
+    #: ctypes survive spawn pickling when passed through Process args.
+    generation: Optional[object] = None
 
 
 def _pack_warns(warns) -> dict:
@@ -60,19 +74,43 @@ def _pack_warns(warns) -> dict:
 
 def worker_main(worker_id: int, config: WorkerConfig, task_queue, result_queue) -> None:
     """Process entry point of one scoring worker."""
+    from queue import Empty
+
     from ..runtime.engine import BatchScoringEngine
 
     ring = SharedFrameRing.attach(
         config.ring_name, config.ring_slots, config.ring_rows, config.ring_cols
     )
+
+    def current_generation() -> int:
+        return 0 if config.generation is None else int(config.generation.value)
+
     try:
         bundle = DeploymentBundle(config.bundle_dir)
         network = bundle.load_network()
         monitors = bundle.load_monitors(network, matcher_backend=config.matcher_backend)
         engine = BatchScoringEngine(network)
-        result_queue.put(("ready", worker_id, os.getpid(), tuple(monitors)))
+        # The generation is read *after* the artefacts: booting mid-swap at
+        # worst re-loads identical files on the next bump check.
+        loaded_generation = current_generation()
+        result_queue.put(
+            ("ready", worker_id, os.getpid(), tuple(monitors), loaded_generation)
+        )
         while True:
-            message = task_queue.get()
+            try:
+                message = task_queue.get(timeout=0.2)
+            except Empty:
+                # Idle: the exact window a lifecycle promotion targets (the
+                # pool pauses dispatch before bumping the generation).
+                generation = current_generation()
+                if generation != loaded_generation:
+                    bundle = DeploymentBundle(config.bundle_dir)
+                    monitors = bundle.load_monitors(
+                        network, matcher_backend=config.matcher_backend
+                    )
+                    loaded_generation = generation
+                    result_queue.put(("reloaded", worker_id, generation))
+                continue
             kind = message[0]
             if kind == "stop":
                 break

@@ -1,0 +1,78 @@
+"""Shared fixtures for the monitor-lifecycle tests.
+
+The lifecycle machinery is exercised over the in-process streaming scorer
+(threads only, fast): a live min-max monitor fitted on a *narrow* nominal
+band, plus a refit candidate that also absorbed a wider band — so live and
+candidate genuinely disagree on wide probe frames, which is what the
+shadow-ledger and watch-rollback tests need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import LifecycleManager, MonitorStore, incremental_refit
+from repro.monitors.minmax import MinMaxMonitor
+from repro.service import BatchPolicy, StreamingScorer
+
+LAYER = 4  # last hidden activation layer of the 6-10-8-3 tiny network
+
+
+@pytest.fixture(scope="session")
+def narrow_inputs(rng) -> np.ndarray:
+    """The live monitor's nominal band (small amplitudes)."""
+    return rng.uniform(-0.5, 0.5, size=(40, 6))
+
+
+@pytest.fixture(scope="session")
+def wide_inputs(rng) -> np.ndarray:
+    """Extra nominal data the refit candidate absorbs (larger amplitudes)."""
+    return rng.uniform(-2.0, 2.0, size=(40, 6))
+
+
+@pytest.fixture(scope="session")
+def live_monitor(tiny_network, narrow_inputs):
+    return MinMaxMonitor(tiny_network, LAYER).fit(narrow_inputs)
+
+
+@pytest.fixture(scope="session")
+def candidate_monitor(live_monitor, wide_inputs):
+    """The live monitor extended with the wide band (never mutates live)."""
+    return incremental_refit(live_monitor, wide_inputs)
+
+
+@pytest.fixture
+def probe_frames(rng) -> np.ndarray:
+    """Wide probes: live warns on many of them, the candidate on fewer."""
+    return rng.uniform(-2.0, 2.0, size=(48, 6))
+
+
+@pytest.fixture
+def store(tmp_path) -> MonitorStore:
+    return MonitorStore(tmp_path / "store")
+
+
+@pytest.fixture
+def scorer(tiny_network):
+    """A started in-process scorer with a low-latency flush policy."""
+    scorer = StreamingScorer(
+        tiny_network, policy=BatchPolicy(max_batch=16, max_latency=0.002)
+    )
+    scorer.start()
+    yield scorer
+    scorer.close(drain=False)
+
+
+@pytest.fixture
+def manager(scorer, store, live_monitor) -> LifecycleManager:
+    """A lifecycle manager with the live monitor already deployed as v1."""
+    manager = LifecycleManager(scorer, store)
+    manager.deploy("mon", live_monitor)
+    return manager
+
+
+def drain(scorer, frames, timeout: float = 30.0):
+    """Submit ``frames`` and block until every verdict resolved."""
+    futures = scorer.submit_many(frames)
+    return [future.result(timeout) for future in futures]

@@ -1,0 +1,99 @@
+"""Promotion atomicity under concurrent submission (acceptance pin).
+
+A producer thread streams single frames while the main thread promotes a
+staged candidate through the *real* manager path.  Two properties must hold
+for every interleaving hypothesis can draw:
+
+1. **No torn verdicts** — every frame's served verdict equals the offline
+   ``warn_batch`` verdict under exactly one of {old monitor, new monitor}.
+   A frame scored against a half-swapped registry could produce a verdict
+   neither monitor would give; the micro-batch snapshot plus the quiesced
+   swap forbid that.
+2. **Monotone boundary** — in submission order, every frame attributable
+   only to the *new* monitor comes after every frame attributable only to
+   the *old* one.  Promotion is a single cut point, not a shuffle.
+"""
+
+import shutil
+import tempfile
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lifecycle import LifecycleManager, MonitorStore
+from repro.service import BatchPolicy, StreamingScorer
+
+N_FRAMES = 32
+
+
+@pytest.fixture(scope="module")
+def disagreement_probes(rng, live_monitor, candidate_monitor):
+    """Probe frames plus both offline verdict vectors (they must differ)."""
+    probes = rng.uniform(-2.0, 2.0, size=(N_FRAMES, 6))
+    old = live_monitor.warn_batch(probes)
+    new = candidate_monitor.warn_batch(probes)
+    assert (old != new).any()  # otherwise the property is vacuous
+    return probes, old, new
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    promote_after=st.integers(min_value=0, max_value=N_FRAMES),
+    batch=st.integers(min_value=1, max_value=8),
+)
+def test_every_interleaving_serves_old_xor_new_with_one_cut_point(
+    promote_after, batch, tiny_network, live_monitor, candidate_monitor,
+    disagreement_probes,
+):
+    probes, old, new = disagreement_probes
+    directory = tempfile.mkdtemp(prefix="repro-atomicity-")
+    scorer = StreamingScorer(
+        tiny_network, policy=BatchPolicy(max_batch=batch, max_latency=0.001)
+    )
+    scorer.start()
+    try:
+        manager = LifecycleManager(scorer, MonitorStore(directory))
+        manager.deploy("mon", live_monitor)
+        manager.stage("mon", candidate_monitor, shadow=False)
+
+        submitted = threading.Event()
+        futures = []
+
+        def produce():
+            for row in range(N_FRAMES):
+                futures.append(scorer.submit(probes[row]))
+                if row + 1 == promote_after:
+                    submitted.set()
+            submitted.set()  # promote_after may exceed the stream length
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        submitted.wait(10.0)
+        manager.promote("mon", guard=False)  # races the in-flight stream
+        producer.join(10.0)
+        assert not producer.is_alive()
+        verdicts = [f.result(30.0).warns["mon"] for f in futures]
+    finally:
+        scorer.close(drain=False)
+        shutil.rmtree(directory, ignore_errors=True)
+
+    old_only = []  # submission indices attributable only to the old monitor
+    new_only = []
+    for row, verdict in enumerate(verdicts):
+        # Property 1: the verdict is one a real monitor snapshot produced.
+        assert verdict in (bool(old[row]), bool(new[row])), (
+            f"frame {row} served {verdict}, but old={old[row]} new={new[row]}"
+        )
+        if old[row] != new[row]:
+            (old_only if verdict == bool(old[row]) else new_only).append(row)
+
+    # Property 2: a single cut point — no old-attributed frame after any
+    # new-attributed one in submission order.
+    if old_only and new_only:
+        assert max(old_only) < min(new_only), (
+            f"non-monotone promotion boundary: old-only {old_only}, "
+            f"new-only {new_only}"
+        )

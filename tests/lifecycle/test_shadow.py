@@ -1,0 +1,119 @@
+"""Shadow scoring: ledger confusion, breach semantics, scorer integration."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.lifecycle import ShadowLedger, ShadowScorer
+
+from .conftest import drain
+
+
+def test_ledger_counts_the_full_confusion():
+    ledger = ShadowLedger()
+    shadow = np.array([True, True, False, False, True])
+    live = np.array([True, False, True, False, False])
+    ledger.observe(shadow, live)
+    assert ledger.both_warn == 1
+    assert ledger.both_accept == 1
+    assert ledger.shadow_only == 2
+    assert ledger.live_only == 1
+    assert ledger.frames == 5
+    assert ledger.disagreements == 3
+    assert ledger.disagreement_rate() == pytest.approx(3 / 5)
+    snapshot = ledger.snapshot()
+    assert snapshot["frames"] == 5
+    assert len(snapshot["recent_disagreements"]) == 3
+    assert {e["direction"] for e in snapshot["recent_disagreements"]} == {
+        "shadow_only",
+        "live_only",
+    }
+
+
+def test_ledger_counts_unpaired_frames_without_comparing():
+    ledger = ShadowLedger()
+    ledger.observe(np.array([True, False]), None)
+    assert ledger.unpaired == 2
+    assert ledger.frames == 0
+    assert ledger.disagreement_rate() == 0.0
+
+
+def test_breach_fires_exactly_once_and_only_past_min_frames():
+    fired = []
+    ledger = ShadowLedger(
+        disagreement_budget=0.1, min_frames=4, on_breach=fired.append
+    )
+    disagree = (np.array([True]), np.array([False]))
+    ledger.observe(*disagree)
+    ledger.observe(*disagree)
+    assert not fired  # 2 frames < min_frames, however bad the rate
+    ledger.observe(*disagree)
+    ledger.observe(*disagree)
+    assert len(fired) == 1 and fired[0] is ledger
+    assert ledger.breached
+    ledger.observe(*disagree)  # latched: no second callback
+    assert len(fired) == 1
+
+
+def test_breach_requires_rate_strictly_above_budget():
+    fired = []
+    ledger = ShadowLedger(
+        disagreement_budget=0.5, min_frames=2, on_breach=fired.append
+    )
+    ledger.observe(np.array([True, False]), np.array([False, False]))
+    # 1 disagreement / 2 frames == budget exactly: not a breach.
+    assert not fired and not ledger.breached
+
+
+def test_ledger_validates_configuration():
+    with pytest.raises(ConfigurationError):
+        ShadowLedger(disagreement_budget=1.5)
+    with pytest.raises(ConfigurationError):
+        ShadowLedger(min_frames=0)
+
+
+def test_shadow_scorer_validates_and_delegates(live_monitor, candidate_monitor, probe_frames):
+    with pytest.raises(ConfigurationError):
+        ShadowScorer("mon", candidate_monitor, "mon")  # trails itself
+    with pytest.raises(ConfigurationError):
+        ShadowScorer("shadow", object(), "mon")  # no batched API
+    shadow = ShadowScorer("shadow", candidate_monitor, "mon")
+    assert shadow.is_shadow
+    assert shadow.network is candidate_monitor.network
+    assert shadow.layer_index == candidate_monitor.layer_index
+    assert shadow.is_fitted
+    np.testing.assert_array_equal(
+        shadow.warn_batch(probe_frames), candidate_monitor.warn_batch(probe_frames)
+    )
+    report = shadow.describe()
+    assert report["shadow_of"] == "mon"
+    assert report["candidate_class"] == type(candidate_monitor).__name__
+
+
+def test_streaming_scorer_strips_shadow_verdicts_and_feeds_ledger(
+    scorer, live_monitor, candidate_monitor, probe_frames
+):
+    scorer.register("mon", live_monitor)
+    shadow = scorer.attach_shadow("mon@shadow", candidate_monitor, "mon")
+    results = drain(scorer, probe_frames)
+    live_offline = live_monitor.warn_batch(probe_frames)
+    for row, result in enumerate(results):
+        assert set(result.warns) == {"mon"}  # the shadow is never served
+        assert result.warns["mon"] == bool(live_offline[row])
+    ledger = shadow.ledger.snapshot()
+    assert ledger["frames"] == probe_frames.shape[0]
+    # Narrow live vs wide candidate: live warns alone on wide probes.
+    assert ledger["live_only"] > 0
+    assert ledger["shadow_only"] == 0
+    assert "mon@shadow" in scorer.shadow_names()
+    returned = scorer.detach_shadow("mon@shadow")
+    assert returned is candidate_monitor
+    assert scorer.shadow_names() == []
+
+
+def test_detach_shadow_rejects_non_shadow_entries(scorer, live_monitor):
+    scorer.register("mon", live_monitor)
+    with pytest.raises(ConfigurationError):
+        scorer.detach_shadow("mon")
+    with pytest.raises(ConfigurationError):
+        scorer.detach_shadow("ghost")

@@ -1,0 +1,135 @@
+"""MonitorStore: version chains, round-trips, retention and rollback."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LifecycleStateError, SerializationError
+from repro.lifecycle import MonitorStore
+from repro.monitors import monitor_fingerprint
+from repro.monitors.minmax import MinMaxMonitor
+
+from .conftest import LAYER
+
+
+def test_versions_are_monotone_and_never_reused(store, live_monitor, candidate_monitor):
+    assert store.put("mon", live_monitor) == 1
+    assert store.put("mon", candidate_monitor) == 2
+    assert store.versions("mon") == [1, 2]
+    assert store.latest("mon") == 2
+    # GC away v1, then archive again: the next id is 3, not a recycled 1.
+    store.set_live("mon", 2)
+    store.gc("mon", retain=1)
+    assert store.versions("mon") == [2]
+    assert store.put("mon", live_monitor) == 3
+
+
+def test_round_trip_preserves_verdicts_and_fingerprint(
+    store, live_monitor, tiny_network, probe_frames
+):
+    version = store.put("mon", live_monitor)
+    loaded = store.load("mon", version, tiny_network)
+    np.testing.assert_array_equal(
+        loaded.warn_batch(probe_frames), live_monitor.warn_batch(probe_frames)
+    )
+    assert monitor_fingerprint(loaded) == monitor_fingerprint(live_monitor)
+    assert store.fingerprint("mon", version) == monitor_fingerprint(live_monitor)
+
+
+def test_version_chain_round_trip_across_reopen(
+    store, live_monitor, candidate_monitor, tiny_network, probe_frames
+):
+    """A store re-opened from disk serves the same chain it archived."""
+    v1 = store.put("mon", live_monitor)
+    v2 = store.put("mon", candidate_monitor, metadata={"refit_of": v1})
+    store.set_live("mon", v2)
+
+    reopened = MonitorStore(store.directory)
+    assert reopened.versions("mon") == [v1, v2]
+    assert reopened.live_version("mon") == v2
+    assert reopened.fingerprint("mon", v1) == store.fingerprint("mon", v1)
+    assert reopened.describe()["monitors"]["mon"]["versions"][v2]["metadata"] == {
+        "refit_of": v1
+    }
+    loaded = reopened.load("mon", network=tiny_network)  # default: live
+    np.testing.assert_array_equal(
+        loaded.warn_batch(probe_frames), candidate_monitor.warn_batch(probe_frames)
+    )
+
+
+def test_load_defaults_to_live_then_latest(
+    store, live_monitor, candidate_monitor, tiny_network, probe_frames
+):
+    store.put("mon", live_monitor)
+    store.put("mon", candidate_monitor)
+    # No live pointer yet: default load resolves to the latest version.
+    loaded = store.load("mon", network=tiny_network)
+    np.testing.assert_array_equal(
+        loaded.warn_batch(probe_frames), candidate_monitor.warn_batch(probe_frames)
+    )
+    store.set_live("mon", 1)
+    loaded = store.load("mon", network=tiny_network)
+    np.testing.assert_array_equal(
+        loaded.warn_batch(probe_frames), live_monitor.warn_batch(probe_frames)
+    )
+
+
+def test_rollback_moves_live_to_predecessor(store, live_monitor, candidate_monitor):
+    store.put("mon", live_monitor)
+    store.put("mon", candidate_monitor)
+    store.set_live("mon", 2)
+    assert store.rollback("mon") == 1
+    assert store.live_version("mon") == 1
+    assert store.versions("mon") == [1, 2]  # nothing deleted
+
+
+def test_rollback_rejects_newer_version_and_empty_history(
+    store, live_monitor, candidate_monitor
+):
+    store.put("mon", live_monitor)
+    with pytest.raises(LifecycleStateError):
+        store.rollback("mon")  # no live pointer
+    store.set_live("mon", 1)
+    with pytest.raises(LifecycleStateError):
+        store.rollback("mon")  # nothing earlier than v1
+    store.put("mon", candidate_monitor)
+    with pytest.raises(LifecycleStateError):
+        store.rollback("mon", 2)  # newer than the live v1
+
+
+def test_gc_never_collects_live_or_newest(store, live_monitor, tiny_network, narrow_inputs):
+    versions = []
+    for width in (0.2, 0.4, 0.6, 0.8):
+        monitor = MinMaxMonitor(tiny_network, LAYER).fit(width * narrow_inputs)
+        versions.append(store.put("mon", monitor))
+    store.set_live("mon", versions[0])
+    removed = store.gc("mon", retain=2)
+    # v1 survives (live), v3+v4 survive (retention); only v2 is collected.
+    assert store.versions("mon") == [versions[0], versions[2], versions[3]]
+    assert removed == ["mon_v2.npz"]
+    assert not (store.directory / "mon_v2.npz").exists()
+    assert (store.directory / "mon_v1.npz").exists()
+
+
+def test_gc_without_bound_is_a_no_op(store, live_monitor):
+    store.put("mon", live_monitor)
+    assert store.gc() == []
+
+
+def test_unknown_names_and_versions_raise(store, live_monitor):
+    with pytest.raises(LifecycleStateError):
+        store.versions("ghost")
+    store.put("mon", live_monitor)
+    with pytest.raises(LifecycleStateError):
+        store.path("mon", 99)
+    with pytest.raises(LifecycleStateError):
+        store.put("", live_monitor)
+    with pytest.raises(LifecycleStateError):
+        MonitorStore(store.directory, retain=0)
+
+
+def test_corrupt_manifest_raises_serialization_error(tmp_path):
+    directory = tmp_path / "broken"
+    directory.mkdir()
+    (directory / "store.json").write_text("{not json")
+    with pytest.raises(SerializationError):
+        MonitorStore(directory)

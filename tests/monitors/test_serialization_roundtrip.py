@@ -129,7 +129,12 @@ class TestPackedColdStart:
     def test_update_after_packed_load_keeps_both_representations(
         self, tiny_network, tiny_inputs, tmp_path, rng
     ):
-        """Inserting into a lazily restored set materialises consistently."""
+        """Inserting into a lazily restored set extends the mirror only.
+
+        Incremental refit of a deployed monitor must stay on the packed
+        mirror — the BDD is replayed (including the new insertions) only
+        when a BDD-dependent operation actually asks for it.
+        """
         monitor = BooleanPatternMonitor(tiny_network, 4, thresholds="mean").fit(
             tiny_inputs
         )
@@ -139,12 +144,16 @@ class TestPackedColdStart:
         extra = rng.uniform(-1.0, 1.0, size=(8, 6))
         monitor.update(extra)
         restored.update(extra)
-        assert restored.patterns.bdd_materialised
+        assert not restored.patterns.bdd_materialised
         probes = rng.uniform(-2.0, 2.0, size=(40, 6))
         np.testing.assert_array_equal(
             restored.warn_batch(probes), monitor.warn_batch(probes)
         )
+        assert not restored.patterns.bdd_materialised
+        # The late replay folds the deferred image *and* the new insertions
+        # into one BDD that agrees with the eagerly maintained one.
         assert restored.patterns.cardinality() == monitor.patterns.cardinality()
+        assert restored.patterns.bdd_materialised
 
     @pytest.mark.slow
     def test_cold_start_speedup(self, tmp_path):
