@@ -33,6 +33,9 @@ DELTA = 0.01
 INPUT_DIM = 8
 MONITORED_LAYER = 4
 SIZES = [64, 128] if QUICK else [128, 256, 512]
+#: Star-backed fits solve LPs per row even on the batched path, so the
+#: end-to-end gate entry runs at a deliberately small n in every mode.
+STAR_SIZE = 32
 #: Only the largest size feeds the CI perf gate: its timings are big enough
 #: to sit well clear of timer/scheduler jitter at the 25% threshold.  Smaller
 #: sizes are still recorded with a "_" prefix (informational, not gated).
@@ -98,6 +101,47 @@ def test_robust_fit_loop_vs_batched(bench_record, fit_network, fit_inputs, metho
     if not QUICK and method == "box":
         # Acceptance bar of the batched-propagation refactor.
         assert speedups[512] >= 5.0, f"expected >=5x at n=512, got {speedups[512]:.1f}x"
+
+
+@pytest.mark.benchmark(group="E10-robust-fit-scaling")
+def test_robust_fit_star_bounds(bench_record, fit_network, fit_inputs):
+    """Star-backed bound collection end-to-end, watched by the perf gate.
+
+    The micro-benchmark (E15, ``test_bench_star_lp.py``) isolates the
+    star-LP tiers; this entry covers the same path the robust monitors
+    use — ``collect_bound_arrays`` with a star spec — so a regression in
+    the plumbing (anchor pass, lockstep walk, backend resolution) is
+    caught even if the isolated solves stay fast.
+    """
+    from repro.symbolic.star_lp import StackedStarLPBackend
+
+    spec = PerturbationSpec(delta=DELTA, layer=0, method="star")
+    inputs = fit_inputs[:STAR_SIZE]
+    backend = StackedStarLPBackend()
+    backend.reset_stats()
+    name = f"robust_fit_star_bounds_n{STAR_SIZE}"
+    lows, highs = bench_record.measure(
+        name,
+        lambda: collect_bound_arrays(
+            fit_network, inputs, MONITORED_LAYER, spec, star_lp_backend=backend
+        ),
+        repeats=3,
+    )
+    stats = dict(backend.stats)
+    bench_record.annotate(
+        name,
+        backend="stacked",
+        closed_form_stars=stats["closed_form_stars"],
+        lp_stars=stats["lp_stars"],
+        lp_programs=stats["lp_programs"],
+    )
+    assert lows.shape == highs.shape == (STAR_SIZE, fit_network.layer_output_dim(MONITORED_LAYER))
+    assert np.all(lows <= highs + 1e-12)
+    print(
+        f"\nE10: star-backed bound collection n={STAR_SIZE}: "
+        f"{bench_record.timings[name] * 1e3:.1f} ms "
+        f"({stats['lp_programs']} LP programs)"
+    )
 
 
 @pytest.mark.benchmark(group="E10-robust-fit-scaling")

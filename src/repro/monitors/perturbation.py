@@ -137,6 +137,7 @@ def collect_bound_arrays(
     monitored_layer: int,
     spec: PerturbationSpec,
     anchors: "np.ndarray | None" = None,
+    star_lp_backend=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Stack every row's perturbation estimate into ``(N, d_k)`` bound matrices.
 
@@ -144,8 +145,9 @@ def collect_bound_arrays(
     row ``i`` of the returned ``(lows, highs)`` pair is ``pe^G_k`` of input
     ``i``.  The whole batch goes through one symbolic propagation — the box
     and zonotope back-ends perform no per-sample Python loop; the star
-    back-end keeps a per-row symbolic walk (its LP bound queries are
-    inherently per-row) behind the same batched interface and anchor pass.
+    back-end advances all rows' stars in lockstep and answers each layer's
+    bound queries through a pluggable star-LP backend
+    (:mod:`repro.symbolic.star_lp`), selectable via ``star_lp_backend``.
     A trivial spec (``Δ = 0``) degenerates to one batched forward pass with
     ``lows == highs``.
 
@@ -181,6 +183,7 @@ def collect_bound_arrays(
         delta=spec.delta,
         method=spec.method,
         anchors=anchors,
+        star_lp_backend=star_lp_backend,
     )
 
 

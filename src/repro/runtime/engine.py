@@ -66,11 +66,23 @@ class ActivationCache:
     on the serving path matters more than letting distinct batches overlap.
     """
 
-    def __init__(self, network: Sequential, max_entries: int = 16) -> None:
+    def __init__(
+        self,
+        network: Sequential,
+        max_entries: int = 16,
+        star_lp_backend=None,
+    ) -> None:
         if max_entries < 1:
             raise ConfigurationError("max_entries must be at least 1")
         self.network = network
         self.max_entries = int(max_entries)
+        #: Star-LP back-end suggestion forwarded to every star-method
+        #: propagation this cache performs (see repro.symbolic.star_lp).
+        #: ``None`` defers to REPRO_STAR_LP_BACKEND / the stacked default.
+        #: Deliberately *not* part of the bound-entry cache key: all
+        #: registered backends are pinned equivalent, so the backend choice
+        #: changes how bounds are computed, never what they are.
+        self.star_lp_backend = star_lp_backend
         self._lock = threading.RLock()
         self._entries: "OrderedDict[Tuple, List[np.ndarray]]" = OrderedDict()
         self._bound_entries: "OrderedDict[Tuple, Tuple[np.ndarray, np.ndarray]]" = (
@@ -155,7 +167,12 @@ class ActivationCache:
                 else self.layer_activations(inputs, spec.layer)
             )
             entry = collect_bound_arrays(
-                self.network, inputs, layer_index, spec, anchors=anchors
+                self.network,
+                inputs,
+                layer_index,
+                spec,
+                anchors=anchors,
+                star_lp_backend=self.star_lp_backend,
             )
             # The entry is handed out by reference to every bound monitor;
             # freezing it turns an accidental in-place edit (which would
@@ -213,15 +230,24 @@ class BatchScoringEngine:
         network: Sequential,
         max_cache_entries: int = 16,
         matcher_backend=None,
+        star_lp_backend=None,
     ) -> None:
         self.network = network
-        self.cache = ActivationCache(network, max_entries=max_cache_entries)
+        self.cache = ActivationCache(
+            network,
+            max_entries=max_cache_entries,
+            star_lp_backend=star_lp_backend,
+        )
         #: Matcher-kernel back-end suggestion for monitors bound to this
         #: engine: pattern monitors fitted while bound adopt it for their
         #: pattern sets unless they carry an explicit choice of their own
         #: (see ActivationMonitor.matcher_backend_choice).  ``None`` defers
         #: to the ``REPRO_MATCHER_BACKEND`` env var / ``numpy`` default.
         self.matcher_backend = matcher_backend
+        #: Star-LP back-end suggestion for star-method bound propagations
+        #: performed through this engine's cache; ``None`` defers to the
+        #: ``REPRO_STAR_LP_BACKEND`` env var / ``stacked`` default.
+        self.star_lp_backend = star_lp_backend
 
     # ------------------------------------------------------------------
     def layer_features(self, inputs: np.ndarray, layer_index: int) -> np.ndarray:

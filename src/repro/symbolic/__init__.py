@@ -8,11 +8,17 @@ propagation), zonotopes and star sets, together with a unified
 
 Every back-end also has a batched form carrying a leading batch axis
 (:class:`~repro.symbolic.batched.BatchedBox`,
-:class:`~repro.symbolic.batched.BatchedZonotope`, and the chunked star walk)
-behind :func:`~repro.symbolic.propagation.propagate_bounds_batch` /
+:class:`~repro.symbolic.batched.BatchedZonotope`, and the lockstep star
+walk) behind :func:`~repro.symbolic.propagation.propagate_bounds_batch` /
 :func:`~repro.symbolic.propagation.perturbation_bounds_batch` — the code
 path robust monitor fits use to estimate whole training sets in one
 propagation.
+
+The star back-end's LP bound queries are themselves pluggable behind
+:func:`~repro.symbolic.star_lp.star_lp_backends` (closed-form hypercube
+tier, block-stacked sparse HiGHS solves, thread-sharded solves), selected
+per call, per :class:`~repro.symbolic.star.StarSet`, or via the
+``REPRO_STAR_LP_BACKEND`` environment variable.
 """
 
 from .batched import BatchedBox, BatchedZonotope
@@ -29,6 +35,18 @@ from .propagation import (
     propagation_backends,
 )
 from .star import StarSet
+from .star_lp import (
+    DEFAULT_STAR_LP_BACKEND,
+    STAR_LP_BACKEND_ENV,
+    LoopStarLPBackend,
+    ShardedStarLPBackend,
+    StackedStarLPBackend,
+    StarLPBackend,
+    register_star_lp_backend,
+    resolve_star_lp_backend,
+    star_lp_backends,
+    unregister_star_lp_backend,
+)
 from .zonotope import Zonotope
 
 __all__ = [
@@ -46,4 +64,14 @@ __all__ = [
     "perturbation_bounds",
     "perturbation_bounds_batch",
     "propagation_backends",
+    "StarLPBackend",
+    "LoopStarLPBackend",
+    "StackedStarLPBackend",
+    "ShardedStarLPBackend",
+    "STAR_LP_BACKEND_ENV",
+    "DEFAULT_STAR_LP_BACKEND",
+    "star_lp_backends",
+    "register_star_lp_backend",
+    "unregister_star_lp_backend",
+    "resolve_star_lp_backend",
 ]

@@ -19,9 +19,12 @@ Both domains are sound row-for-row: row ``i`` of a batched propagation is a
 (floating-point-tolerance) match of propagating row ``i`` alone, which
 ``tests/symbolic/test_batched.py`` pins per layer type and per domain.
 
-Star sets stay per-row (each row owns an LP over its own polytope), so the
-batched star path in :mod:`repro.symbolic.propagation` batches the concrete
-anchor pass and then walks the rows individually behind the same interface.
+Star sets keep one polytope per row (each row owns its own LP), so the
+batched star path in :mod:`repro.symbolic.propagation` advances all rows'
+stars in lockstep layer by layer and answers each layer's bound queries
+with a single :meth:`~repro.symbolic.star_lp.StarLPBackend.bounds_many`
+call — closed-form for hypercube-domain stars, block-stacked sparse HiGHS
+programs for constrained ones (see :mod:`repro.symbolic.star_lp`).
 
 Batch semantics of the ReLU relaxation
 --------------------------------------

@@ -18,9 +18,13 @@ Two API levels are offered:
 * batched — :func:`propagate_bounds_batch` / :func:`perturbation_bounds_batch`
   take ``(N, d)`` bound/input matrices and push the whole batch through the
   abstract transformers at once (see :mod:`repro.symbolic.batched`).  The
-  box and zonotope back-ends vectorise fully; the star back-end solves LPs
-  over per-row polytopes, so its symbolic walk stays per-row behind the same
-  batched interface, with one shared concrete anchor pass.
+  box and zonotope back-ends vectorise fully; the star back-end walks all
+  rows in lockstep, layer by layer, so every bound query of the batch goes
+  through one :mod:`~repro.symbolic.star_lp` back-end call — closed form
+  (zero LPs) while predicate polytopes are still hypercubes, block-stacked
+  sparse HiGHS solves (optionally thread-sharded) once ReLUs go unstable.
+  The seed one-row-at-a-time star walk is kept as :func:`_star_bounds_loop`,
+  the reference the batched path is pinned against.
 
 The batched level is what robust monitor construction uses
 (:func:`repro.monitors.perturbation.collect_bound_arrays`); row ``i`` of a
@@ -40,6 +44,7 @@ from ..nn.network import Sequential
 from .batched import BatchedBox, BatchedZonotope
 from .interval import Box
 from .star import StarSet
+from .star_lp import resolve_star_lp_backend
 from .zonotope import Zonotope
 
 __all__ = [
@@ -124,11 +129,23 @@ def propagate_zonotope(
 
 
 def propagate_star(
-    network: Sequential, box: Box, from_layer: int, to_layer: int
+    network: Sequential,
+    box: Box,
+    from_layer: int,
+    to_layer: int,
+    star_lp_backend=None,
 ) -> StarSet:
-    """Star-set propagation from layer ``from_layer`` to ``to_layer``."""
+    """Star-set propagation from layer ``from_layer`` to ``to_layer``.
+
+    ``star_lp_backend`` selects the star-LP bound back-end
+    (:func:`repro.symbolic.star_lp.star_lp_backends`) answering the walk's
+    bound queries; ``None`` defers to ``REPRO_STAR_LP_BACKEND`` / the
+    ``stacked`` default.
+    """
     _check_slice(network, from_layer, to_layer)
-    return _propagate_geometric(network, StarSet.from_box(box), from_layer, to_layer)
+    return _propagate_geometric(
+        network, StarSet.from_box(box, lp_backend=star_lp_backend), from_layer, to_layer
+    )
 
 
 def _check_method(method: str) -> None:
@@ -225,20 +242,79 @@ def _propagate_zonotope_batch(
     return lows, highs
 
 
-def _propagate_star_rows(
+def _propagate_star_batch(
     network: Sequential,
     batched_box: BatchedBox,
     from_layer: int,
     to_layer: int,
+    star_lp_backend=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Star back-end over a batch of boxes, walked one row at a time.
+    """Star back-end over a batch of boxes, walked in lockstep.
 
-    Star bounds are LP queries over per-row predicate polytopes, so the
-    symbolic walk cannot share work across rows; only one star set is alive
-    at a time and each row's bounds are written straight into preallocated
-    ``(N, d)`` output matrices.  Callers still get the same batched interface
-    (and batched concrete anchor pass) as the box and zonotope back-ends.
+    Each row owns its predicate polytope, but the *bound queries* of all
+    rows at a given layer are independent LPs — so the walk keeps every
+    row's star alive, advances them layer by layer together, and answers
+    each layer's batch of bound queries with one
+    :meth:`~repro.symbolic.star_lp.StarLPBackend.bounds_many` call: closed
+    form while the polytopes are hypercubes, chunked block-stacked HiGHS
+    programs once they are constrained.  Row ``i`` of the result matches
+    the single-sample star propagation of row ``i`` (exactly on the
+    closed-form tier, to LP tolerance on the stacked tier).
     """
+    backend = resolve_star_lp_backend(star_lp_backend)
+    stars = [
+        StarSet.from_box(Box(*batched_box.row(index)), lp_backend=backend)
+        for index in range(batched_box.batch_size)
+    ]
+    for layer in network.layers[from_layer:to_layer]:
+        if isinstance(layer, Dense):
+            stars = [star.affine(layer.weights, layer.bias) for star in stars]
+        elif isinstance(layer, ActivationLayer):
+            lows, highs = backend.bounds_many(stars)
+            if isinstance(layer.activation, ReLU):
+                stars = [
+                    star.relu(bounds=(lows[index], highs[index]))
+                    for index, star in enumerate(stars)
+                ]
+            else:
+                transform = layer.activation.bound_transform
+                stars = [
+                    star.elementwise_monotone(
+                        transform, bounds=(lows[index], highs[index])
+                    )
+                    for index, star in enumerate(stars)
+                ]
+        elif isinstance(layer, (Dropout, Flatten)):
+            continue
+        elif isinstance(layer, Scale):
+            dimension = stars[0].dimension if stars else 0
+            weights = np.eye(dimension) * layer.scale
+            bias = np.full(dimension, layer.shift)
+            stars = [star.affine(weights, bias) for star in stars]
+        else:
+            raise PropagationError(
+                f"layer type {type(layer).__name__} has no geometric propagation rule"
+            )
+    return backend.bounds_many(stars)
+
+
+def _star_bounds_loop(
+    network: Sequential,
+    batched_box: BatchedBox,
+    from_layer: int,
+    to_layer: int,
+    star_lp_backend="loop",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Seed reference: the star back-end walked one row at a time.
+
+    Each row runs its own full symbolic walk and answers its bound queries
+    through ``star_lp_backend`` — by default the ``loop`` back-end, i.e. the
+    original ``2·d``-LPs-per-query path.  Kept as the ground truth the
+    lockstep :func:`_propagate_star_batch` is pinned against (exact on
+    hypercube stars when given a closed-form-capable back-end, LP-tolerance
+    otherwise) and as the baseline the E15 benchmark measures against.
+    """
+    backend = resolve_star_lp_backend(star_lp_backend)
     batch = batched_box.batch_size
     out_dim = network.layer_output_dim(to_layer)
     lows = np.empty((batch, out_dim))
@@ -246,7 +322,10 @@ def _propagate_star_rows(
     for index in range(batch):
         low, high = batched_box.row(index)
         star = _propagate_geometric(
-            network, StarSet.from_box(Box(low, high)), from_layer, to_layer
+            network,
+            StarSet.from_box(Box(low, high), lp_backend=backend),
+            from_layer,
+            to_layer,
         )
         lows[index], highs[index] = star.bounds()
     return lows, highs
@@ -259,6 +338,7 @@ def propagate_bounds_batch(
     from_layer: int,
     to_layer: int,
     method: str = "box",
+    star_lp_backend=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Sound per-neuron bounds at ``to_layer`` for a whole batch of boxes.
 
@@ -266,7 +346,9 @@ def propagate_bounds_batch(
     row; the result is the ``(N, d_k)`` pair of bound matrices whose row ``i``
     is the axis-aligned hull of propagating box ``i`` with the chosen
     back-end — identical (box) or tolerance-close (zonotope, star) to the
-    single-sample :func:`propagate_bounds` of that row.
+    single-sample :func:`propagate_bounds` of that row.  ``star_lp_backend``
+    selects the star-LP bound back-end of the ``star`` method (ignored by
+    the others); ``None`` defers to ``REPRO_STAR_LP_BACKEND``.
     """
     _check_method(method)
     _check_slice(network, from_layer, to_layer)
@@ -283,7 +365,9 @@ def propagate_bounds_batch(
         )
     if method == "zonotope":
         return _propagate_zonotope_batch(network, batched_box, from_layer, to_layer)
-    return _propagate_star_rows(network, batched_box, from_layer, to_layer)
+    return _propagate_star_batch(
+        network, batched_box, from_layer, to_layer, star_lp_backend=star_lp_backend
+    )
 
 
 def propagate_bounds(
@@ -292,6 +376,7 @@ def propagate_bounds(
     from_layer: int,
     to_layer: int,
     method: str = "box",
+    star_lp_backend=None,
 ) -> Box:
     """Sound per-neuron bounds at ``to_layer`` for any point of ``box``.
 
@@ -303,7 +388,9 @@ def propagate_bounds(
         return propagate_box(network, box, from_layer, to_layer)
     if method == "zonotope":
         return propagate_zonotope(network, box, from_layer, to_layer).to_box()
-    return propagate_star(network, box, from_layer, to_layer).to_box()
+    return propagate_star(
+        network, box, from_layer, to_layer, star_lp_backend=star_lp_backend
+    ).to_box()
 
 
 def perturbation_bounds(
@@ -313,6 +400,7 @@ def perturbation_bounds(
     perturbation_layer: int = 0,
     delta: float = 0.0,
     method: str = "box",
+    star_lp_backend=None,
 ) -> Box:
     """Compute the perturbation estimate ``pe^G_k(v, k_p, Δ)`` of Definition 1.
 
@@ -337,7 +425,12 @@ def perturbation_bounds(
         )
         return Box.from_point(value)
     return propagate_bounds(
-        network, box, perturbation_layer, monitored_layer, method=method
+        network,
+        box,
+        perturbation_layer,
+        monitored_layer,
+        method=method,
+        star_lp_backend=star_lp_backend,
     )
 
 
@@ -349,6 +442,7 @@ def perturbation_bounds_batch(
     delta: float = 0.0,
     method: str = "box",
     anchors: "np.ndarray | None" = None,
+    star_lp_backend=None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Batched Definition-1 perturbation estimates: one row per input.
 
@@ -388,6 +482,7 @@ def perturbation_bounds_batch(
         perturbation_layer,
         monitored_layer,
         method=method,
+        star_lp_backend=star_lp_backend,
     )
 
 

@@ -8,8 +8,13 @@ where ``c`` is the centre, the rows of ``V`` are basis vectors (one per
 predicate variable ``alpha_i``) and ``C alpha <= d`` is a polyhedral
 constraint on the predicate variables (Tran et al., FM 2019 — reference [5]
 of the paper).  Star sets propagate *exactly* through affine layers, and the
-per-dimension bounds needed by the monitor construction are obtained by
-solving small linear programs with ``scipy.optimize.linprog``.
+per-dimension bounds needed by the monitor construction are linear programs
+over the predicate polytope.  How those LPs are answered is pluggable
+(:mod:`repro.symbolic.star_lp`): while the polytope is still the default
+hypercube the bounds have an exact closed form (no LP at all), and
+genuinely constrained stars batch their ``2·d`` objectives into
+block-stacked sparse HiGHS solves instead of one ``scipy.optimize.linprog``
+call per dimension.
 
 ReLU layers are handled with the sound single-star over-approximation (the
 triangle relaxation applied per neuron, introducing one fresh predicate
@@ -27,6 +32,7 @@ from scipy.optimize import linprog
 
 from ..exceptions import PropagationError, ShapeError
 from .interval import Box
+from .star_lp import resolve_star_lp_backend
 
 __all__ = ["StarSet"]
 
@@ -36,6 +42,19 @@ class StarSet:
 
     ``basis`` has shape ``(num_predicates, dimension)`` (one row per predicate
     variable, mirroring the zonotope generator layout).
+
+    ``lp_backend`` selects the star-LP bound back-end
+    (:func:`repro.symbolic.star_lp.star_lp_backends`) answering this star's
+    bound queries: a registry name, a ready back-end instance, or ``None``
+    for the ``REPRO_STAR_LP_BACKEND`` / ``stacked`` default.  The choice is
+    inherited by every star derived through :meth:`affine`, :meth:`relu` and
+    :meth:`elementwise_monotone`.
+
+    ``hypercube_domain`` asserts that the supplied constraints are the
+    default hypercube ``alpha ∈ [-1, 1]^m`` — the flag that unlocks the
+    closed-form (zero-LP) bound tier.  It is tracked automatically by the
+    constructors and transformers; only pass it when rebuilding a star from
+    parts you know came from the default domain.
     """
 
     def __init__(
@@ -44,6 +63,8 @@ class StarSet:
         basis: np.ndarray,
         constraints_a: Optional[np.ndarray] = None,
         constraints_b: Optional[np.ndarray] = None,
+        lp_backend=None,
+        hypercube_domain: Optional[bool] = None,
     ) -> None:
         center = np.asarray(center, dtype=np.float64).reshape(-1)
         basis = np.asarray(basis, dtype=np.float64)
@@ -56,6 +77,7 @@ class StarSet:
             # Default predicate domain: the unit hyper-cube alpha in [-1, 1]^m.
             constraints_a = np.vstack([np.eye(num_predicates), -np.eye(num_predicates)])
             constraints_b = np.ones(2 * num_predicates)
+            hypercube_domain = True
         constraints_a = np.asarray(constraints_a, dtype=np.float64)
         constraints_b = np.asarray(constraints_b, dtype=np.float64).reshape(-1)
         if constraints_a.shape[1] != num_predicates:
@@ -68,24 +90,25 @@ class StarSet:
         self.basis = basis
         self.constraints_a = constraints_a
         self.constraints_b = constraints_b
+        self.lp_backend = lp_backend
+        self._hypercube_domain = bool(hypercube_domain)
 
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------
     @classmethod
-    def from_box(cls, box: Box) -> "StarSet":
+    def from_box(cls, box: Box, lp_backend=None) -> "StarSet":
         """Star whose predicate variables are the box's noise directions."""
         radius = box.radius
         nonzero = np.nonzero(radius > 0)[0]
         basis = np.zeros((nonzero.shape[0], box.dimension))
-        for row, dim in enumerate(nonzero):
-            basis[row, dim] = radius[dim]
-        return cls(box.center, basis)
+        basis[np.arange(nonzero.shape[0]), nonzero] = radius[nonzero]
+        return cls(box.center, basis, lp_backend=lp_backend)
 
     @classmethod
-    def from_point(cls, point: np.ndarray) -> "StarSet":
+    def from_point(cls, point: np.ndarray, lp_backend=None) -> "StarSet":
         point = np.asarray(point, dtype=np.float64).reshape(-1)
-        return cls(point, np.zeros((0, point.shape[0])))
+        return cls(point, np.zeros((0, point.shape[0])), lp_backend=lp_backend)
 
     # ------------------------------------------------------------------
     # geometry
@@ -97,6 +120,17 @@ class StarSet:
     @property
     def num_predicates(self) -> int:
         return int(self.basis.shape[0])
+
+    @property
+    def is_hypercube_domain(self) -> bool:
+        """True while the predicate polytope is the default ``[-1, 1]^m`` box.
+
+        Hypercube stars answer bound queries in closed form — no LP — and
+        are trivially non-empty.  The flag survives :meth:`affine` (which
+        never touches the polytope) and :meth:`relu` on fully stable layers;
+        the first unstable ReLU clears it.
+        """
+        return self._hypercube_domain
 
     def _dimension_bound(self, direction: np.ndarray, maximise: bool) -> float:
         """LP bound of ``direction . x`` over the star (x = c + V^T alpha)."""
@@ -120,7 +154,22 @@ class StarSet:
         return offset + value
 
     def bounds(self) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact per-dimension lower/upper bounds via 2·d linear programs."""
+        """Exact per-dimension lower/upper bounds through the LP back-end.
+
+        Dispatches to this star's :mod:`~repro.symbolic.star_lp` back-end:
+        closed form (zero LPs) on a hypercube predicate domain, block-stacked
+        HiGHS solves otherwise.  Semantically identical to the seed
+        per-dimension walk kept in :meth:`_bounds_loop`.
+        """
+        return resolve_star_lp_backend(self.lp_backend).bounds(self)
+
+    def _bounds_loop(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Seed reference: one dense LP per dimension per sense (``2·d`` calls).
+
+        This is the original bound walk, preserved verbatim as the ground
+        truth the registered back-ends are pinned against (and as the body
+        of the ``loop`` back-end).
+        """
         low = np.empty(self.dimension)
         high = np.empty(self.dimension)
         for j in range(self.dimension):
@@ -135,8 +184,12 @@ class StarSet:
         return Box(low, high)
 
     def is_empty(self) -> bool:
-        """True when the predicate polytope has no feasible point."""
-        if self.num_predicates == 0:
+        """True when the predicate polytope has no feasible point.
+
+        A hypercube predicate domain always contains the origin, so the
+        common case answers without entering the LP solver at all.
+        """
+        if self.num_predicates == 0 or self._hypercube_domain:
             return False
         result = linprog(
             np.zeros(self.num_predicates),
@@ -164,9 +217,11 @@ class StarSet:
             self.basis @ weights,
             self.constraints_a,
             self.constraints_b,
+            lp_backend=self.lp_backend,
+            hypercube_domain=self._hypercube_domain,
         )
 
-    def relu(self) -> "StarSet":
+    def relu(self, bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None) -> "StarSet":
         """Sound single-star over-approximation of elementwise ReLU.
 
         Stable neurons keep their affine form (identity or zero).  Each
@@ -176,8 +231,13 @@ class StarSet:
             beta_j >= 0,   beta_j >= x_j,   beta_j <= u_j (x_j - l_j)/(u_j - l_j)
 
         and the output dimension ``j`` becomes exactly ``beta_j``.
+
+        ``bounds`` optionally supplies precomputed pre-activation bounds of
+        this star — the batched lockstep walk passes them so the bound
+        queries of a whole batch share one stacked solve instead of one
+        back-end dispatch per row.
         """
-        low, high = self.bounds()
+        low, high = bounds if bounds is not None else self.bounds()
         center = np.array(self.center, copy=True)
         basis = np.array(self.basis, copy=True)
         constraints_a = self.constraints_a
@@ -193,7 +253,14 @@ class StarSet:
                 basis[:, j] = 0.0
 
         if not unstable:
-            return StarSet(center, basis, constraints_a, constraints_b)
+            return StarSet(
+                center,
+                basis,
+                constraints_a,
+                constraints_b,
+                lp_backend=self.lp_backend,
+                hypercube_domain=self._hypercube_domain,
+            )
 
         fresh_count = len(unstable)
         # Extend existing constraints with columns for the fresh predicates.
@@ -237,13 +304,22 @@ class StarSet:
 
         constraints_a = np.vstack([extended_a, np.array(extra_rows)])
         constraints_b = np.concatenate([constraints_b, np.array(extra_b)])
-        return StarSet(center, new_basis, constraints_a, constraints_b)
+        # Triangle-relaxation rows leave the default hypercube domain.
+        return StarSet(
+            center, new_basis, constraints_a, constraints_b, lp_backend=self.lp_backend
+        )
 
-    def elementwise_monotone(self, bound_transform) -> "StarSet":
-        """Sound relaxation of a general monotone activation via the box hull."""
-        low, high = self.bounds()
+    def elementwise_monotone(
+        self, bound_transform, bounds: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    ) -> "StarSet":
+        """Sound relaxation of a general monotone activation via the box hull.
+
+        ``bounds`` optionally supplies precomputed bounds of this star (see
+        :meth:`relu`).
+        """
+        low, high = bounds if bounds is not None else self.bounds()
         new_low, new_high = bound_transform(low, high)
-        return StarSet.from_box(Box(new_low, new_high))
+        return StarSet.from_box(Box(new_low, new_high), lp_backend=self.lp_backend)
 
     # ------------------------------------------------------------------
     def sample(

@@ -68,12 +68,15 @@ class TestCollectBoundArrays:
         np.testing.assert_allclose(batched[1], loop[1], rtol=1e-10, atol=1e-12)
 
     def test_star_batched_matches_loop(self, tiny_network, tiny_inputs):
+        # Star bounds come from LP solves once unstable ReLUs constrain the
+        # polytopes, so the lockstep/stacked path is pinned at the LP-tier
+        # tolerance (closed-form-only walks are pinned bitwise elsewhere).
         spec = PerturbationSpec(delta=0.02, layer=0, method="star")
         subset = tiny_inputs[:6]
         batched = collect_bound_arrays(tiny_network, subset, MONITORED_LAYER, spec)
         loop = collect_bound_arrays_loop(tiny_network, subset, MONITORED_LAYER, spec)
-        np.testing.assert_allclose(batched[0], loop[0], rtol=1e-10, atol=1e-12)
-        np.testing.assert_allclose(batched[1], loop[1], rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(batched[0], loop[0], rtol=0.0, atol=1e-6)
+        np.testing.assert_allclose(batched[1], loop[1], rtol=0.0, atol=1e-6)
 
     def test_trivial_spec_is_one_forward_pass(self, tiny_network, tiny_inputs):
         spec = PerturbationSpec()

@@ -5,8 +5,10 @@ round-off (the arithmetic per row is identical; only BLAS kernel selection
 differs between matrix-vector and matrix-matrix products).  The batched
 zonotope introduces zero generator slots for batch uniformity, which
 reassociates bound sums, so its agreement is pinned at a tight tolerance.
-The star back-end runs the same per-row code behind the batched interface
-and must match exactly.
+The star back-end walks all rows in lockstep and answers bound queries
+through the star-LP backends: bit-identical to the single-row walk while
+every polytope is still a hypercube (closed-form tier), and LP-tolerance
+close once unstable ReLUs make the bounds come from stacked HiGHS solves.
 """
 
 from __future__ import annotations
@@ -233,14 +235,28 @@ def test_perturbation_bounds_batch_matches_single(
         assert_rowwise_close(highs[i], single.high, f"{method} row {i} high")
 
 
-def test_star_batched_rows_match_single_exactly(relu_network, rng):
-    """The batched star walk runs the identical per-row code: exact match."""
+def test_star_batched_rows_match_single_exactly_on_hypercube_walk(tanh_network, rng):
+    """Monotone activations keep every star a hypercube: closed-form tier only.
+
+    The closed-form tier is pure (identical) arithmetic per row whether rows
+    are computed singly or stacked, so agreement is bitwise.
+    """
+    inputs = rng.uniform(-1.0, 1.0, size=(7, 5))
+    lows, highs = perturbation_bounds_batch(tanh_network, inputs, 4, 0, 0.05, "star")
+    for i in range(inputs.shape[0]):
+        single = perturbation_bounds(tanh_network, inputs[i], 4, 0, 0.05, "star")
+        np.testing.assert_array_equal(lows[i], single.low)
+        np.testing.assert_array_equal(highs[i], single.high)
+
+
+def test_star_batched_rows_match_single_on_lp_walk(relu_network, rng):
+    """Unstable ReLUs constrain the polytopes: stacked-LP tier, 1e-6 pin."""
     inputs = rng.uniform(-1.0, 1.0, size=(7, 6))
     lows, highs = perturbation_bounds_batch(relu_network, inputs, 4, 0, 0.02, "star")
     for i in range(inputs.shape[0]):
         single = perturbation_bounds(relu_network, inputs[i], 4, 0, 0.02, "star")
-        np.testing.assert_array_equal(lows[i], single.low)
-        np.testing.assert_array_equal(highs[i], single.high)
+        np.testing.assert_allclose(lows[i], single.low, rtol=0.0, atol=1e-6)
+        np.testing.assert_allclose(highs[i], single.high, rtol=0.0, atol=1e-6)
 
 
 def test_zonotope_chunked_walk_matches_unchunked(relu_network, rng, monkeypatch):

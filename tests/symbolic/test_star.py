@@ -43,6 +43,34 @@ class TestConstruction:
         assert star.is_empty()
         assert not StarSet.from_point(np.zeros(1)).is_empty()
 
+    def test_is_empty_on_hypercube_domain_skips_the_lp(self, monkeypatch):
+        """The default [-1, 1]^m polytope is trivially non-empty: no linprog."""
+        from repro.symbolic import star as star_module
+
+        def _forbidden(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("is_empty ran an LP on a hypercube domain")
+
+        monkeypatch.setattr(star_module, "linprog", _forbidden)
+        box = Box(np.array([-1.0, 0.0]), np.array([1.0, 2.0]))
+        assert not StarSet.from_box(box).is_empty()
+        assert not StarSet.from_point(np.zeros(3)).is_empty()
+
+    def test_from_box_basis_is_diagonal_radius(self):
+        """Vectorised from_box builds the same basis as the seed row loop."""
+        low = np.array([-1.0, 2.0, 0.5, 3.0])
+        high = np.array([1.0, 2.0, 1.5, 3.0])
+        star = StarSet.from_box(Box(low, high))
+        radius = (high - low) / 2.0
+        nonzero = np.nonzero(radius)[0]
+        expected = np.zeros((nonzero.size, low.size))
+        for row, j in enumerate(nonzero):
+            expected[row, j] = radius[j]
+        np.testing.assert_array_equal(star.basis, expected)
+        assert star.is_hypercube_domain
+        lo, hi = star.bounds()
+        np.testing.assert_allclose(lo, low, atol=1e-12)
+        np.testing.assert_allclose(hi, high, atol=1e-12)
+
 
 class TestAffine:
     def test_affine_exactness_matches_interval_arithmetic_for_single_layer(self):
